@@ -1,0 +1,76 @@
+"""Engine performance: the simulator's own throughput.
+
+Not a paper figure — these benchmarks track the two engines' cost so
+regressions in the hot paths (event heap, dispatcher, vectorised rounds)
+are caught by the numbers rather than by slow CI.
+"""
+
+import numpy as np
+
+from repro.analytic.model import AllreduceSeriesModel
+from repro.apps.aggregate_trace import AggregateTraceConfig, run_aggregate_trace
+from repro.config import ClusterConfig, MachineConfig, MpiConfig, NoiseConfig
+from repro.daemons.catalog import scale_noise, standard_noise
+from repro.experiments.common import VANILLA16, make_config
+from repro.sim.core import Simulator
+from repro.system import System
+
+
+def test_bench_event_engine_throughput(benchmark, show):
+    """Raw event queue: schedule/fire chains."""
+
+    def churn():
+        sim = Simulator()
+        count = [0]
+
+        def tick():
+            count[0] += 1
+            if count[0] < 200_000:
+                sim.schedule(1.0, tick)
+
+        sim.schedule(0.0, tick)
+        sim.run()
+        return count[0]
+
+    events = benchmark.pedantic(churn, rounds=1, iterations=1, warmup_rounds=0)
+    rate = events / benchmark.stats.stats.mean
+    show(f"event engine: {rate / 1e6:.2f} M events/s (chained schedule+fire)")
+    assert events == 200_000
+    assert rate > 100_000  # sanity floor
+
+
+def test_bench_des_cluster_throughput(benchmark, show):
+    """Full-stack DES: 64 ranks with noise, events per wall second."""
+
+    def run():
+        cfg = ClusterConfig(
+            machine=MachineConfig(n_nodes=4, cpus_per_node=16),
+            mpi=MpiConfig(progress_threads_enabled=False),
+            noise=scale_noise(standard_noise(include_cron=False), 30.0),
+            seed=1,
+        )
+        system = System(cfg)
+        run_aggregate_trace(
+            system, 64, 16, AggregateTraceConfig(calls_per_loop=150, compute_between_us=200.0)
+        )
+        return system.sim.events_processed
+
+    events = benchmark.pedantic(run, rounds=1, iterations=1, warmup_rounds=0)
+    rate = events / benchmark.stats.stats.mean
+    show(f"cluster DES: {events} events, {rate / 1e3:.0f} k events/s")
+    assert rate > 20_000
+
+
+def test_bench_analytic_model_throughput(benchmark, show):
+    """Vectorised model: rank-rounds per wall second at paper scale."""
+    cfg = make_config(VANILLA16, 1728, seed=1)
+
+    def run():
+        model = AllreduceSeriesModel(cfg, 1728, 16, seed=1)
+        model.run_series(200, compute_between_us=200.0)
+        return 200 * len(model.rounds) * 1728
+
+    rank_rounds = benchmark.pedantic(run, rounds=1, iterations=1, warmup_rounds=0)
+    rate = rank_rounds / benchmark.stats.stats.mean
+    show(f"analytic model: {rate / 1e6:.1f} M rank-rounds/s at 1728 ranks")
+    assert rate > 1e6

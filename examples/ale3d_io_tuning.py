@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""Co-scheduling a real application: the ALE3D I/O tuning story.
+
+Walks the paper's §5.3 production episode end to end, including the
+administrative machinery:
+
+1. parse an ``/etc/poe.priority`` file with two priority classes — the
+   naive benchmark settings (favored 30) and the tuned ones the ALE3D
+   runs ended up with (favored 41, just above GPFS's mmfsd at 40);
+2. run the ALE3D proxy (timesteps of neighbour exchange + reductions,
+   I/O phases through the node I/O service) under no co-scheduling, the
+   naive class, and the tuned class;
+3. show that the naive class *slows the application down* by starving
+   the I/O daemons inside the favored window, while the tuned class
+   delivers the paper's ~24% improvement.
+
+Run:  python examples/ale3d_io_tuning.py
+"""
+
+from repro import (
+    Ale3dConfig,
+    ClusterConfig,
+    CoschedConfig,
+    KernelConfig,
+    MachineConfig,
+    PoePriorityFile,
+    System,
+    run_ale3d,
+    scale_noise,
+    standard_noise,
+)
+from repro.units import s
+
+TIME_SCALE = 25.0
+IO_PRIORITY = 40  # mmfsd service path
+
+POE_PRIORITY = """
+# class     user   favored unfavored period(s) duty(%)
+benchmark   jones  30      100       5         90
+production  jones  41      100       5         90   # favored just above mmfsd(40)
+"""
+
+
+def run(label: str, cosched: CoschedConfig | None) -> tuple[float, float]:
+    config = ClusterConfig(
+        machine=MachineConfig(n_nodes=2, cpus_per_node=16),
+        kernel=KernelConfig.prototype(big_tick=1) if cosched else KernelConfig(),
+        cosched=cosched if cosched else CoschedConfig(enabled=False),
+        noise=scale_noise(standard_noise(include_cron=False), TIME_SCALE),
+        seed=9,
+    )
+    system = System(config, with_io=True, io_priority=IO_PRIORITY)
+    result = run_ale3d(system, 32, 16, Ale3dConfig(timesteps=40), horizon_us=s(600))
+    print(
+        f"{label:<34} elapsed {result.elapsed_us / 1e6:7.3f} s   "
+        f"of which I/O {result.io_time_us / 1e6:6.3f} s"
+    )
+    return result.elapsed_us, result.io_time_us
+
+
+def main() -> None:
+    admin = PoePriorityFile.parse(POE_PRIORITY)
+    # MP_PRIORITY=benchmark / MP_PRIORITY=production, as a user would set.
+    naive_rec = admin.match("benchmark", "jones")
+    tuned_rec = admin.match("production", "jones")
+    compressed = dict(period_us=s(5) / TIME_SCALE)
+
+    print(f"ALE3D proxy, 32 ranks, noise/schedule compressed {TIME_SCALE:.0f}x\n")
+    vanilla, _ = run("vanilla (no co-scheduling)", None)
+    naive, _ = run(
+        f"MP_PRIORITY=benchmark (fav {naive_rec.favored})",
+        naive_rec.to_config(**compressed),
+    )
+    tuned, _ = run(
+        f"MP_PRIORITY=production (fav {tuned_rec.favored})",
+        tuned_rec.to_config(**compressed),
+    )
+
+    print()
+    print(f"naive co-scheduling vs vanilla : {naive / vanilla:.2f}x "
+          f"(paper: 'the co-scheduler actually slowed it down')")
+    print(f"tuned co-scheduling gain       : {100 * (1 - tuned / vanilla):.0f}% "
+          f"(paper: 24%, 1315 s -> 1152 s)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""Quickstart: build a noisy cluster, run an MPI job, co-schedule it.
+
+This walks the whole public API in one sitting:
+
+1. configure a 4-node × 8-CPU machine with the calibrated AIX daemon
+   ecology (time-compressed so effects show in a seconds-long run);
+2. run a loop of Allreduces on the stock ("vanilla") kernel and watch the
+   interference tail;
+3. run the same job under the paper's prototype kernel + co-scheduler and
+   watch the tail collapse.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import (
+    AggregateTraceConfig,
+    ClusterConfig,
+    CoschedConfig,
+    KernelConfig,
+    MachineConfig,
+    System,
+    run_aggregate_trace,
+    scale_noise,
+    standard_noise,
+)
+from repro.units import format_time, s
+
+# Discrete-event runs last simulated seconds, so compress the daemon
+# timescale (periods / TIME_SCALE); see repro.daemons.catalog.scale_noise.
+TIME_SCALE = 30.0
+N_RANKS, TASKS_PER_NODE = 32, 8
+CALLS = 400
+
+
+def run(label: str, kernel: KernelConfig, cosched: CoschedConfig) -> None:
+    config = ClusterConfig(
+        machine=MachineConfig(n_nodes=4, cpus_per_node=8),
+        kernel=kernel,
+        cosched=cosched,
+        noise=scale_noise(standard_noise(include_cron=False), TIME_SCALE),
+        seed=42,
+    )
+    system = System(config)
+    result = run_aggregate_trace(
+        system,
+        N_RANKS,
+        TASKS_PER_NODE,
+        AggregateTraceConfig(calls_per_loop=CALLS, compute_between_us=200.0),
+    )
+    d = result.durations_us
+    print(
+        f"{label:<22} mean {format_time(result.mean_us):>9}   "
+        f"median {format_time(result.median_us):>9}   "
+        f"p99 {format_time(float(np.percentile(d, 99))):>9}   "
+        f"max {format_time(result.max_us):>9}   "
+        f"values_ok={result.values_ok}"
+    )
+
+
+def main() -> None:
+    print(f"Allreduce x{CALLS} on {N_RANKS} ranks, noise compressed {TIME_SCALE:.0f}x\n")
+
+    # 1. Stock AIX semantics: staggered 10 ms ticks, per-CPU daemon
+    #    queues, preemption noticed at tick boundaries.
+    run("vanilla kernel", KernelConfig.vanilla(), CoschedConfig(enabled=False))
+
+    # 2. The paper's full treatment: big ticks, simultaneous cluster-
+    #    aligned ticks, global daemon queue, real-time scheduling fixes,
+    #    plus the priority-cycling co-scheduler (period compressed with
+    #    the noise; big tick compressed so flips stay on the grid).
+    run(
+        "prototype + cosched",
+        KernelConfig.prototype(big_tick=2),
+        CoschedConfig(enabled=True, period_us=s(5) / TIME_SCALE, duty_cycle=0.90),
+    )
+
+    print("\nThe prototype trims the mean and collapses the interference tail —")
+    print("the paper's Figure 6 effect, at discrete-event scale.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Paper-scale scaling study: Figures 3, 5 and 6 in one run.
+
+Sweeps Allreduce latency over 128–1728 processors for the three machine
+configurations the paper contrasts — vanilla 16 tasks/node, the 15/node
+workaround, and the prototype kernel + co-scheduler — on the vectorised
+large-scale model, then fits the scaling lines exactly as Figure 6 does.
+
+Run:  python examples/scaling_study.py          (~1 minute)
+"""
+
+from repro.analytic.fits import compare_fits
+from repro.experiments.common import (
+    PROTO16,
+    VANILLA15,
+    VANILLA16,
+    allreduce_sweep,
+)
+from repro.experiments.reporting import text_table
+
+
+def main() -> None:
+    sweeps = {}
+    for scenario in (VANILLA16, VANILLA15, PROTO16):
+        counts = (128, 256, 512, 944, 1360, 1728)
+        if scenario.tasks_per_node == 15:
+            counts = tuple(15 * (-(-n // 16)) for n in counts)
+        sweeps[scenario.name] = allreduce_sweep(
+            scenario, proc_counts=counts, n_calls=300, n_seeds=3
+        )
+
+    rows = []
+    v16, v15, p16 = sweeps["vanilla16"], sweeps["vanilla15"], sweeps["proto16"]
+    for i in range(len(v16.proc_counts)):
+        rows.append(
+            (
+                int(v16.proc_counts[i]),
+                float(v16.mean_us[i]),
+                float(v15.mean_us[i]),
+                float(p16.mean_us[i]),
+                float(v16.mean_us[i] / p16.mean_us[i]),
+            )
+        )
+    print(
+        text_table(
+            ["procs(16/node)", "vanilla16_us", "vanilla15_us", "proto16_us", "v16/proto"],
+            rows,
+            title="Allreduce mean latency vs processor count (3 seeds each)",
+        )
+    )
+
+    print("Fitted lines (paper: vanilla 0.70x+166, prototype 0.22x+210):")
+    for name, sweep in sweeps.items():
+        lin, log, winner = compare_fits(sweep.proc_counts, sweep.mean_us)
+        print(f"  {name:<10} {lin}   best fit: {winner}")
+    ratio = (
+        compare_fits(v16.proc_counts, v16.mean_us)[0].slope
+        / compare_fits(p16.proc_counts, p16.mean_us)[0].slope
+    )
+    print(f"\nslope ratio vanilla/prototype: {ratio:.1f}x (paper: ~3.2x, 'over 300% speedup')")
+
+
+if __name__ == "__main__":
+    main()

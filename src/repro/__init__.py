@@ -1,0 +1,105 @@
+"""repro — parallel-aware OS co-scheduling, reproduced in simulation.
+
+A reproduction of *"Improving the Scalability of Parallel Jobs by adding
+Parallel Awareness to the Operating System"* (Jones et al., SC 2003): a
+discrete-event simulator of AIX-class SMP cluster scheduling, the daemon
+interference ecology, an MPI runtime whose collectives block on real
+scheduling, the paper's priority-cycling co-scheduler, and a vectorised
+large-scale model that regenerates the paper's figures.
+
+Quick tour (see ``examples/quickstart.py``)::
+
+    from repro import (ClusterConfig, KernelConfig, CoschedConfig, System,
+                       standard_noise, run_aggregate_trace)
+
+    config = ClusterConfig(kernel=KernelConfig.prototype(),
+                           cosched=CoschedConfig(enabled=True),
+                           noise=standard_noise())
+    system = System(config)
+    result = run_aggregate_trace(system, n_ranks=32, tasks_per_node=16)
+
+Layers (bottom-up): :mod:`repro.sim` (event engine), :mod:`repro.kernel`
+(dispatcher/ticks/preemption), :mod:`repro.machine` (nodes/cluster),
+:mod:`repro.daemons` (noise + I/O service), :mod:`repro.net`,
+:mod:`repro.mpi`, :mod:`repro.trace`, :mod:`repro.cosched` (the paper's
+contribution), :mod:`repro.apps`, :mod:`repro.analytic`,
+:mod:`repro.experiments` (one runner per paper figure/table).
+"""
+
+from repro.config import (
+    ClusterConfig,
+    CoschedConfig,
+    DaemonSpec,
+    KernelConfig,
+    MachineConfig,
+    MpiConfig,
+    NetworkConfig,
+    NoiseConfig,
+    PRIO_DAEMON_SYSTEM,
+    PRIO_IDLE,
+    PRIO_NORMAL,
+    PRIO_USER_TIMESHARED,
+)
+from repro.apps import (
+    AggregateTraceConfig,
+    Ale3dConfig,
+    BspConfig,
+    run_aggregate_trace,
+    run_ale3d,
+    run_bsp,
+)
+from repro.daemons import IoService, install_noise, standard_noise
+from repro.daemons.catalog import scale_noise
+from repro.machine import Cluster, Placement
+from repro.mpi import MpiApi, MpiJob, MpiWorld
+from repro.cosched import JobCoscheduler, PoePriorityFile
+from repro.analytic import AllreduceSeriesModel, fit_linear, fit_log
+from repro.system import System
+from repro.trace import TraceRecorder
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # configuration
+    "ClusterConfig",
+    "MachineConfig",
+    "KernelConfig",
+    "NetworkConfig",
+    "MpiConfig",
+    "CoschedConfig",
+    "NoiseConfig",
+    "DaemonSpec",
+    "PRIO_NORMAL",
+    "PRIO_DAEMON_SYSTEM",
+    "PRIO_USER_TIMESHARED",
+    "PRIO_IDLE",
+    # machine + system
+    "Cluster",
+    "Placement",
+    "System",
+    "TraceRecorder",
+    # noise
+    "standard_noise",
+    "scale_noise",
+    "install_noise",
+    "IoService",
+    # MPI
+    "MpiWorld",
+    "MpiApi",
+    "MpiJob",
+    # co-scheduler
+    "JobCoscheduler",
+    "PoePriorityFile",
+    # applications
+    "AggregateTraceConfig",
+    "run_aggregate_trace",
+    "Ale3dConfig",
+    "run_ale3d",
+    "BspConfig",
+    "run_bsp",
+    # analytic model
+    "AllreduceSeriesModel",
+    "fit_linear",
+    "fit_log",
+]

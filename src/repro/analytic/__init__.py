@@ -1,0 +1,30 @@
+"""Vectorised large-scale collective/noise model.
+
+A pure-Python DES cannot simulate 1 920 CPUs × thousands of Allreduces in
+reasonable time, so paper-scale sweeps (Figures 3, 5, 6) run on this
+layer: a numpy-vectorised simulation of the *collective schedule* — every
+rank's ready time advanced round by round through the recursive-doubling
+exchange — with interference injected per rank per round from the same
+:class:`~repro.config.ClusterConfig` the DES consumes.  This is the
+standard methodology of the OS-noise literature (inject sampled noise into
+a LogP-style collective recursion); an integration test cross-validates it
+against the DES at small scale.
+
+* :mod:`repro.analytic.model` — the series model;
+* :mod:`repro.analytic.noise` — per-source samplers built from configs;
+* :mod:`repro.analytic.fits` — the linear/logarithmic fits of Figure 6.
+"""
+
+from repro.analytic.model import AllreduceSeriesModel, SeriesResult
+from repro.analytic.noise import NoiseInjector
+from repro.analytic.fits import FitResult, fit_linear, fit_log, compare_fits
+
+__all__ = [
+    "AllreduceSeriesModel",
+    "SeriesResult",
+    "NoiseInjector",
+    "FitResult",
+    "fit_linear",
+    "fit_log",
+    "compare_fits",
+]

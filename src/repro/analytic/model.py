@@ -1,0 +1,270 @@
+"""The vectorised Allreduce series model.
+
+State is one vector: each rank's ready time.  A call advances every rank
+through the recursive-doubling schedule round by round; each round is a
+numpy maximum/propagation over partner indices, with noise injected from
+:class:`~repro.analytic.noise.NoiseInjector`.  Non-power-of-two sizes use
+the exact MPICH fold/unfold structure, so round counts (and therefore the
+zero-noise logarithmic baseline) match the DES implementation.
+
+The model is *the cascade, vectorised*: a single delayed rank propagates
+its lateness to its partner, then to the partner's partners — max-plus
+algebra over the exchange graph — which is why noise turns logarithmic
+scaling linear exactly as the paper measures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.config import ClusterConfig
+from repro.analytic.noise import NoiseInjector
+
+__all__ = ["AllreduceSeriesModel", "SeriesResult"]
+
+
+@dataclass
+class SeriesResult:
+    """Outcome of one modelled series of Allreduce calls."""
+
+    #: Mean-over-ranks duration of each call (µs).
+    durations_us: np.ndarray
+    n_ranks: int
+    tasks_per_node: int
+
+    @property
+    def mean_us(self) -> float:
+        return float(np.mean(self.durations_us))
+
+    @property
+    def median_us(self) -> float:
+        return float(np.median(self.durations_us))
+
+    @property
+    def max_us(self) -> float:
+        return float(np.max(self.durations_us))
+
+    @property
+    def min_us(self) -> float:
+        return float(np.min(self.durations_us))
+
+    @property
+    def std_us(self) -> float:
+        return float(np.std(self.durations_us))
+
+
+class AllreduceSeriesModel:
+    """Models a rank's-eye series of Allreduce calls at scale.
+
+    Parameters mirror the DES entry points: the same
+    :class:`~repro.config.ClusterConfig`, job shape, and a seed.
+    """
+
+    def __init__(
+        self,
+        config: ClusterConfig,
+        n_ranks: int,
+        tasks_per_node: int,
+        seed: int = 0,
+    ) -> None:
+        if n_ranks < 2:
+            raise ValueError("need at least 2 ranks")
+        self.config = config
+        self.n = int(n_ranks)
+        self.tpn = int(tasks_per_node)
+        self.rng = np.random.default_rng(seed)
+        self.noise = NoiseInjector(config, n_ranks, tasks_per_node, self.rng)
+
+        net = config.network
+        self.o = net.overhead_us
+        self.r = config.mpi.reduce_op_us
+        # Per-pair latency depends on co-residency.
+        self._node_of = np.arange(n_ranks) // tasks_per_node
+
+        # Exchange schedule (fold / recursive doubling / unfold).
+        self._build_schedule()
+
+    # ------------------------------------------------------------------
+    # Schedule construction
+    # ------------------------------------------------------------------
+    def _build_schedule(self) -> None:
+        n = self.n
+        pof2 = 1 << (n.bit_length() - 1)
+        rem = n - pof2
+        self.pof2 = pof2
+        self.rem = rem
+
+        # Mapping rank -> "newrank" in the power-of-two phase (-1 for the
+        # folded-out even ranks).
+        ranks = np.arange(n)
+        newrank = np.where(
+            ranks < 2 * rem,
+            np.where(ranks % 2 == 0, -1, ranks // 2),
+            ranks - rem,
+        )
+        # Inverse: newrank -> real rank.
+        inv = np.full(pof2, -1, dtype=int)
+        active = newrank >= 0
+        inv[newrank[active]] = ranks[active]
+        self.active_mask = active
+        self.newrank = newrank
+
+        self.rounds: list[np.ndarray] = []  # per-round partner (real ranks), -1 = idle
+        mask = 1
+        while mask < pof2:
+            partner = np.full(n, -1, dtype=int)
+            nd = newrank[active] ^ mask
+            partner[active] = inv[nd]
+            self.rounds.append(partner)
+            mask <<= 1
+
+    # ------------------------------------------------------------------
+    # Simulation
+    # ------------------------------------------------------------------
+    def run_series(
+        self,
+        n_calls: int,
+        compute_between_us: float = 0.0,
+        t_start: float = 0.0,
+    ) -> SeriesResult:
+        """Model *n_calls* back-to-back Allreduce calls; returns durations.
+
+        Without co-scheduling this is a single run.  With it, a run of a
+        few hundred calls is far shorter than the 5 s window cycle, so a
+        single wall-time placement would sample only one phase; instead
+        the series is **stratified**: ``duty_cycle`` of the calls run
+        inside the favored window (deferrable daemons silent) and the rest
+        inside the unfavored window (daemons at stationary rates), plus
+        the once-per-period flip stall — the overlapped execution of the
+        piled-up daemon backlog, which costs the job ``max`` over ranks of
+        their backlogs (everyone stalls simultaneously: the paper's whole
+        point) amortised over the calls of one period.
+        """
+        if not self.noise.cosched_on:
+            return SeriesResult(
+                self._run_block(n_calls, compute_between_us, t_start), self.n, self.tpn
+            )
+        duty = self.noise.favored_len / self.noise.period
+        n_unf = max(1, int(round(n_calls * (1.0 - duty))))
+        n_fav = max(1, n_calls - n_unf)
+        self.noise.force_window = "favored"
+        d_fav = self._run_block(n_fav, compute_between_us, t_start)
+        self.noise.force_window = "unfavored"
+        d_unf = self._run_block(n_unf, compute_between_us, t_start)
+        self.noise.force_window = None
+        durations = np.concatenate([d_fav, d_unf])
+        # Amortised flip stall: once per period the whole job pays the
+        # slowest rank's deferred-daemon backlog plus the flip-noticing
+        # latency, simultaneously on every node.
+        mean_wall = float(durations.mean()) + compute_between_us
+        calls_per_period = max(1.0, self.noise.period / mean_wall)
+        durations += float(np.max(self.noise.window_stall)) / calls_per_period
+        return SeriesResult(durations, self.n, self.tpn)
+
+    def _run_block(
+        self,
+        n_calls: int,
+        compute_between_us: float = 0.0,
+        t_start: float = 0.0,
+    ) -> np.ndarray:
+        n = self.n
+        o, r = self.o, self.r
+        ready = np.full(n, float(t_start))
+        durations = np.empty(n_calls)
+        # Exposure estimate per round: overheads + a wire hop (the noise
+        # rates are far below 1/round, so precision here barely matters).
+        base_round = 2 * o + r + self.config.network.latency_us
+        rem2 = 2 * self.rem
+
+        hardware = self.config.mpi.algorithm == "hardware"
+        net = self.config.network
+
+        for call in range(n_calls):
+            if compute_between_us > 0.0:
+                ready += compute_between_us
+                t_mean = float(ready.mean())
+                ready += self.noise.sample_round(t_mean, compute_between_us)
+            start = ready.copy()
+            t0 = float(ready.min())
+
+            if hardware:
+                # Switch-combined: one deposit per rank, combine after the
+                # slowest, synchronous fan-out.  Laggard sensitivity stays
+                # (the max), the log-depth software cascade is gone.
+                deposit = ready + o + self.noise.sample_round(t0, base_round)
+                done = (
+                    float(deposit.max())
+                    + net.latency_us
+                    + net.hw_collective_latency_us
+                )
+                ready = np.full(n, done + o)
+                t1 = float(ready.max())
+                cron = self.noise.cron_hits(t0, max(t1, t0 + 1.0))
+                if cron.any():
+                    ready += cron
+                durations[call] = float(np.mean(ready - start))
+                continue
+
+            # ---- fold phase (non-power-of-two) -------------------------
+            if self.rem > 0:
+                evens = np.arange(0, rem2, 2)
+                odds = evens + 1
+                lat = self._pair_latency(evens, odds)
+                arrive = ready[evens] + o + lat
+                ready[odds] = np.maximum(ready[odds] + o, arrive) + o + r
+                # Evens idle until the unfold at the end.
+
+            # ---- recursive doubling ------------------------------------
+            for partner in self.rounds:
+                idx = self.active_mask
+                p = partner[idx]
+                lat = self._pair_latency(np.arange(n)[idx], p)
+                exposure = base_round
+                t_mean = float(ready[idx].mean())
+                noise_d = self.noise.sample_round(t_mean, exposure)
+                ready += noise_d
+                send_t = ready[idx] + o
+                arrive = send_t[self._perm_within_active(p)] + lat
+                ready_idx = np.maximum(ready[idx] + o, arrive) + o + r
+                ready[idx] = ready_idx
+
+            # ---- unfold phase -------------------------------------------
+            if self.rem > 0:
+                evens = np.arange(0, rem2, 2)
+                odds = evens + 1
+                lat = self._pair_latency(odds, evens)
+                arrive = ready[odds] + o + lat
+                ready[evens] = np.maximum(ready[evens] + o, arrive) + o
+
+            # ---- long outliers (cron) -----------------------------------
+            t1 = float(ready.max())
+            cron = self.noise.cron_hits(t0, max(t1, t0 + 1.0))
+            if cron.any():
+                ready += cron
+
+            durations[call] = float(np.mean(ready - start))
+
+        return durations
+
+    # ------------------------------------------------------------------
+    def _pair_latency(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        net = self.config.network
+        same = self._node_of[a] == self._node_of[b]
+        nbytes = 8
+        return np.where(
+            same,
+            net.shm_latency_us + nbytes * net.per_byte_us,
+            net.latency_us + nbytes * net.per_byte_us,
+        )
+
+    def _perm_within_active(self, partners_real: np.ndarray) -> np.ndarray:
+        """Map real partner ranks to positions within the active subset."""
+        # active ranks in order; position of rank x among actives:
+        if not hasattr(self, "_active_pos"):
+            pos = np.full(self.n, -1, dtype=int)
+            pos[np.arange(self.n)[self.active_mask]] = np.arange(int(self.active_mask.sum()))
+            self._active_pos = pos
+        return self._active_pos[partners_real]
+

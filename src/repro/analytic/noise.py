@@ -1,0 +1,242 @@
+"""Per-rank noise sampling for the vectorised model.
+
+Builds, from the same configs the DES consumes, a sampler that answers:
+*for an exposure window of length τ at wall time t, how much extra delay
+does each rank accumulate?*  Sources and their mapping to model behaviour:
+
+===================  ========================================================
+source               model behaviour
+===================  ========================================================
+per-node daemons     Each daemon's activations land on its home CPU's task
+                     (per-CPU queueing) — a fixed victim rank per node.  A
+                     spare CPU (`tasks_per_node < cpus_per_node`) absorbs
+                     stealable daemons entirely.  Under co-scheduling,
+                     deferrable daemons are silenced during the favored
+                     window and their backlog is paid at the window flip.
+cron job             Aligned wall-clock grid across nodes; blocks one CPU
+                     per node for its (long) service time; undeferred by
+                     the spare CPU only in the sense that its components
+                     exceed one CPU — we keep the simple one-victim model
+                     but at priority above users it hits even 15/16 runs
+                     with reduced probability.
+interrupt handlers   Per-CPU, undeferrable, hit every rank at their rate.
+timer ticks          Deterministic rate (1/period per CPU).  *Staggered*
+                     phases → independent per-rank hits that skew the
+                     collective; *aligned* → every rank pays at the same
+                     instants, which shifts all ranks equally and adds no
+                     skew, so the model charges the cost but to all ranks
+                     simultaneously.
+MPI timer threads    Per-rank, period `progress_interval_us`, cost
+                     `progress_cost_us`; bound to the task's CPU, so a
+                     spare CPU does not absorb them; mirrored priorities
+                     mean co-scheduling does not remove them either.
+===================  ========================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.config import ClusterConfig, DaemonSpec
+
+__all__ = ["NoiseInjector", "SPARE_ABSORPTION"]
+
+#: Fraction of stealable daemon activations a spare CPU absorbs.  Not 1.0:
+#: absorption requires the idle CPU to notice and steal before the home
+#: CPU's task is disturbed, and it fails outright when two daemons fire
+#: concurrently — the paper notes the leave-one-CPU-idle approach "does
+#: not handle the occasional event of two concurrent interfering daemons".
+SPARE_ABSORPTION = 0.85
+
+
+@dataclass
+class _PointSource:
+    """A renewal source hitting a fixed set of ranks."""
+
+    name: str
+    rate_per_us: float          # activations per µs per victim
+    mean_delay_us: float        # expected stall per activation
+    victims: np.ndarray         # rank indices
+    deferrable: bool            # silenced inside the co-scheduled window
+    absorbed_by_spare: bool     # a spare CPU soaks it up
+
+
+class NoiseInjector:
+    """Samples per-rank delays for exposure windows.
+
+    Parameters
+    ----------
+    config:
+        The run's full configuration (noise ecology, kernel policy,
+        co-scheduler schedule, MPI settings).
+    n_ranks / tasks_per_node:
+        Job shape; determines victims and spare-CPU absorption.
+    rng:
+        Source of randomness (model-level reproducibility).
+    """
+
+    def __init__(
+        self,
+        config: ClusterConfig,
+        n_ranks: int,
+        tasks_per_node: int,
+        rng: np.random.Generator,
+    ) -> None:
+        self.config = config
+        self.n = n_ranks
+        self.tpn = tasks_per_node
+        self.cpn = config.machine.cpus_per_node
+        self.rng = rng
+        spare = self.tpn < self.cpn
+        n_nodes = -(-n_ranks // tasks_per_node)
+
+        self.sources: list[_PointSource] = []
+        self.cron_specs: list[DaemonSpec] = []
+        for idx, spec in enumerate(config.noise.daemons):
+            if spec.name.startswith("cron"):
+                self.cron_specs.append(spec)
+                continue
+            if spec.per_cpu:
+                victims = np.arange(n_ranks)
+                absorbed = False
+            else:
+                # Home CPU by daemon index (mirrors the engine's layout);
+                # its victim is the task pinned there, if any.
+                home = idx % self.cpn
+                if home >= tasks_per_node:
+                    continue  # lands on an always-free CPU
+                victims = np.array(
+                    [node * tasks_per_node + home for node in range(n_nodes)
+                     if node * tasks_per_node + home < n_ranks]
+                )
+                absorbed = spare and not spec.per_cpu
+            self.sources.append(
+                _PointSource(
+                    name=spec.name,
+                    rate_per_us=1.0 / spec.period_us,
+                    mean_delay_us=spec.mean_service_us(),
+                    victims=victims,
+                    deferrable=spec.deferrable and not spec.hardware,
+                    absorbed_by_spare=absorbed,
+                )
+            )
+
+        # MPI progress-engine timer threads: every rank, bound, un-absorbed.
+        if config.mpi.progress_threads_enabled:
+            self.sources.append(
+                _PointSource(
+                    name="mpi_timer",
+                    rate_per_us=1.0 / config.mpi.progress_interval_us,
+                    mean_delay_us=config.mpi.progress_cost_us,
+                    victims=np.arange(n_ranks),
+                    deferrable=False,   # priorities are mirrored
+                    absorbed_by_spare=False,
+                )
+            )
+
+        # Timer ticks.
+        self.tick_rate = 1.0 / config.kernel.physical_tick_period_us
+        self.tick_cost = config.kernel.physical_tick_cost_us
+        self.ticks_aligned = config.kernel.tick_phase == "aligned" and (
+            config.kernel.align_ticks_to_global_time or config.machine.n_nodes == 1
+        )
+
+        # Co-scheduler window bookkeeping.
+        cs = config.cosched
+        self.cosched_on = cs.enabled
+        if self.cosched_on:
+            self.period = cs.period_us
+            self.favored_len = cs.favored_window_us
+            # Backlog paid at each window flip: deferred daemon CPU per
+            # victim CPU per period, plus the priority-flip noticing skew.
+            backlog = np.zeros(n_ranks)
+            for src in self.sources:
+                if src.deferrable and not src.absorbed_by_spare:
+                    backlog[src.victims] += src.rate_per_us * self.period * src.mean_delay_us
+            notice = (
+                config.kernel.ipi_latency_us
+                if config.kernel.realtime_scheduling and config.kernel.fix_reverse_preemption
+                else config.kernel.physical_tick_period_us / 2.0
+            )
+            self.window_stall = backlog + notice
+        else:
+            self.period = None
+            self.favored_len = None
+            self.window_stall = None
+
+        #: Stratified-sampling override: None (wall-time windows),
+        #: "favored" or "unfavored".  Set by the series model.
+        self.force_window: str | None = None
+
+    # ------------------------------------------------------------------
+    def in_favored_window(self, t: float) -> bool:
+        """Is global time *t* inside the co-scheduled favored window?"""
+        if not self.cosched_on:
+            return False
+        if self.force_window is not None:
+            return self.force_window == "favored"
+        return (t % self.period) < self.favored_len
+
+    def sample_round(self, t_mean: float, exposure_us: float) -> np.ndarray:
+        """Per-rank delay accumulated over one exposure of *exposure_us*.
+
+        ``t_mean`` locates the round in wall time for window logic.
+        Renewal hits are approximated as Poisson thinning — exact for the
+        exponential-ish service processes at the rates involved.
+        """
+        delays = np.zeros(self.n)
+        favored = self.in_favored_window(t_mean)
+        for src in self.sources:
+            if self.cosched_on and favored and src.deferrable:
+                continue
+            lam = src.rate_per_us * exposure_us
+            if src.absorbed_by_spare:
+                lam *= 1.0 - SPARE_ABSORPTION
+            if lam <= 0:
+                continue
+            hits = self.rng.poisson(lam, size=src.victims.size)
+            nz = hits > 0
+            if np.any(nz):
+                # Delay per hit ~ exponential around the mean: preserves
+                # the right-skew of trace-observed service times.
+                add = self.rng.exponential(src.mean_delay_us, size=int(nz.sum())) * hits[nz]
+                delays[src.victims[nz]] += add
+        # Ticks.
+        lam_t = self.tick_rate * exposure_us
+        if self.tick_cost > 0 and lam_t > 0:
+            if self.ticks_aligned:
+                # Simultaneous everywhere: the cost lands on every rank at
+                # the same instants — a common-mode shift, no added skew.
+                delays += self.rng.poisson(lam_t) * self.tick_cost
+            else:
+                delays += self.rng.poisson(lam_t, size=self.n) * self.tick_cost
+        return delays
+
+    def cron_hits(self, t0: float, t1: float) -> np.ndarray:
+        """Per-rank delays from aligned cron activations in ``[t0, t1)``.
+
+        Cron components run at priority better than user processes, so a
+        spare CPU helps only partially; the model keeps the full hit at
+        16/16 and suppresses it at <16/16 with probability 0.5 (one spare
+        CPU against several concurrently-fired scripts).
+        """
+        delays = np.zeros(self.n)
+        spare = self.tpn < self.cpn
+        n_nodes = -(-self.n // self.tpn)
+        for spec in self.cron_specs:
+            phase = spec.phase_us if spec.phase_us is not None else 0.0
+            k0 = int(np.ceil((t0 - phase) / spec.period_us))
+            k1 = int(np.ceil((t1 - phase) / spec.period_us))
+            for k in range(k0, k1):
+                service = spec.service.mean() + spec.pagefault_prob * spec.pagefault_cost_us
+                # One victim CPU per node (the paper observed one CPU per
+                # node consumed on multiple nodes simultaneously).
+                for node in range(n_nodes):
+                    if spare and self.rng.random() < 0.5:
+                        continue
+                    victim = node * self.tpn + int(self.rng.integers(self.tpn))
+                    if victim < self.n:
+                        delays[victim] += service
+        return delays

@@ -1,0 +1,35 @@
+"""Workloads: the paper's benchmark and application analogues.
+
+* :mod:`repro.apps.bsp` — generic Bulk-Synchronous SPMD generator
+  (paper Fig 2): compute phases alternating with fine-grain collective
+  communication, with configurable imbalance.
+* :mod:`repro.apps.aggregate_trace` — the synthetic benchmark
+  ``aggregate_trace.c``: loops of timed Allreduce calls with trace marks
+  every 64th call (paper §5.1).
+* :mod:`repro.apps.ale3d` — a proxy for the ALE3D multi-physics code's
+  explicit-hydro test problem: ~50 timesteps of nearest-neighbour
+  exchange + global reductions, bracketed by I/O phases that depend on
+  the node I/O service (paper §5.1/§5.3).
+"""
+
+from repro.apps.bsp import BspConfig, BspResult, run_bsp
+from repro.apps.aggregate_trace import (
+    AggregateTraceConfig,
+    AggregateTraceResult,
+    aggregate_trace_body,
+    run_aggregate_trace,
+)
+from repro.apps.ale3d import Ale3dConfig, Ale3dResult, run_ale3d
+
+__all__ = [
+    "BspConfig",
+    "BspResult",
+    "run_bsp",
+    "AggregateTraceConfig",
+    "AggregateTraceResult",
+    "aggregate_trace_body",
+    "run_aggregate_trace",
+    "Ale3dConfig",
+    "Ale3dResult",
+    "run_ale3d",
+]

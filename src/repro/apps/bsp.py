@@ -1,0 +1,109 @@
+"""Bulk-Synchronous SPMD workload generator (paper Fig 2).
+
+"Each process of a parallel job executes on a separate processor and
+alternates between computation and communication phases."  The generator
+produces exactly that: configurable compute phases (with optional per-rank
+imbalance) separated by a synchronising collective.  Cycle times versus
+the ideal (compute + zero-noise collective) give the efficiency number
+that OS interference erodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Literal
+
+import numpy as np
+
+from repro.mpi.world import MpiApi
+from repro.system import System
+from repro.units import ms, s
+
+__all__ = ["BspConfig", "BspResult", "bsp_body", "run_bsp"]
+
+
+def _lcg_unit(rank: int, cycle: int, salt: int) -> float:
+    """Deterministic per-(rank, cycle) value in [0, 1) without RNG state.
+
+    Keeps app bodies pure functions of their arguments so runs stay
+    reproducible regardless of generator interleaving.
+    """
+    x = (rank * 2654435761 + cycle * 40503 + salt * 97) & 0xFFFFFFFF
+    x ^= x >> 16
+    x = (x * 2246822519) & 0xFFFFFFFF
+    x ^= x >> 13
+    return x / 2**32
+
+
+@dataclass(frozen=True)
+class BspConfig:
+    """Shape of the synthetic bulk-synchronous cycle."""
+
+    cycles: int = 50
+    compute_us: float = ms(2)
+    #: Fractional compute imbalance across ranks (0 = perfectly balanced).
+    imbalance: float = 0.05
+    collective: Literal["allreduce", "barrier", "allgather"] = "allreduce"
+    salt: int = 0
+
+
+@dataclass
+class BspResult:
+    """Per-cycle timings as observed by rank 0."""
+
+    cycle_times_us: np.ndarray
+    elapsed_us: float
+    n_ranks: int
+    config: BspConfig
+
+    @property
+    def mean_cycle_us(self) -> float:
+        return float(np.mean(self.cycle_times_us))
+
+    def efficiency(self, ideal_cycle_us: float) -> float:
+        """Fraction of ideal throughput achieved."""
+        return ideal_cycle_us / self.mean_cycle_us
+
+
+def bsp_body(config: BspConfig, sink: dict):
+    """Body factory for a BSP job; rank 0 deposits timings into *sink*."""
+
+    def factory(rank: int, api: MpiApi):
+        times = []
+        for cycle in range(config.cycles):
+            t0 = api.now
+            work = config.compute_us * (
+                1.0 + config.imbalance * (2.0 * _lcg_unit(rank, cycle, config.salt) - 1.0)
+            )
+            yield from api.compute(work)
+            if config.collective == "allreduce":
+                yield from api.allreduce(float(rank))
+            elif config.collective == "barrier":
+                yield from api.barrier()
+            else:
+                yield from api.allgather(float(rank))
+            times.append(api.now - t0)
+        if rank == 0:
+            sink["cycle_times"] = times
+
+    return factory
+
+
+def run_bsp(
+    system: System,
+    n_ranks: int,
+    tasks_per_node: int,
+    config: BspConfig | None = None,
+    horizon_us: float = s(120),
+) -> BspResult:
+    """Launch and run a BSP job to completion on *system*."""
+    cfg = config if config is not None else BspConfig()
+    sink: dict = {}
+    job = system.launch(n_ranks, tasks_per_node, bsp_body(cfg, sink), name="bsp")
+    elapsed = job.run(horizon_us=horizon_us)
+    return BspResult(
+        cycle_times_us=np.asarray(sink["cycle_times"], dtype=float),
+        elapsed_us=elapsed,
+        n_ranks=n_ranks,
+        config=cfg,
+    )

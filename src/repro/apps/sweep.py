@@ -1,0 +1,140 @@
+"""Wavefront sweep proxy (Sweep3D / SAGE class).
+
+The OS-noise studies the paper cites ([Hoisie03] on ASCI Q) worked with
+wavefront transport codes: a 2-D processor grid pipelines "planes" of work
+diagonally — each rank receives boundary data from its upstream
+neighbours, computes a block, and forwards downstream (the KBA
+decomposition).  The communication is *pipelined point-to-point* rather
+than synchronising collectives, which gives a different noise signature:
+
+* a delayed rank stalls only its downstream cone, and the pipeline's
+  other diagonals keep computing — noise is partially *absorbed*;
+* but a sweep's critical path crosses the whole grid (px + py − 1 plane
+  steps), so sufficiently long interruptions still serialise.
+
+The workload-sensitivity experiment (E6) contrasts this shape with the
+Allreduce-dominated ``aggregate_trace``: the paper's co-scheduling matters
+most for the collective-heavy end of the spectrum.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.mpi.world import MpiApi
+from repro.system import System
+from repro.units import ms, s, us
+
+__all__ = ["SweepConfig", "SweepResult", "sweep_body", "run_sweep", "grid_shape"]
+
+#: The four sweep corners (dx, dy): NE, NW, SE, SW — real transport codes
+#: sweep all octants; alternating corners exercises both diagonals.
+DIRECTIONS = ((1, 1), (-1, 1), (1, -1), (-1, -1))
+
+
+def grid_shape(n_ranks: int) -> tuple[int, int]:
+    """Most-square (px, py) factorisation of *n_ranks*."""
+    best = (1, n_ranks)
+    for px in range(1, int(np.sqrt(n_ranks)) + 1):
+        if n_ranks % px == 0:
+            best = (px, n_ranks // px)
+    return best
+
+
+@dataclass(frozen=True)
+class SweepConfig:
+    """KBA-style sweep parameters."""
+
+    #: Full sweeps (one direction each) to perform.
+    sweeps: int = 8
+    #: Pipelined planes per sweep (the k-blocking factor).
+    planes: int = 10
+    #: Compute per rank per plane.
+    block_compute_us: float = us(400)
+    #: Boundary exchange size per neighbour per plane.
+    boundary_bytes: int = 4096
+
+    def __post_init__(self) -> None:
+        if self.sweeps < 1 or self.planes < 1:
+            raise ValueError("sweeps and planes must be >= 1")
+
+
+@dataclass
+class SweepResult:
+    elapsed_us: float
+    #: Per-sweep wall time as seen by rank 0.
+    sweep_times_us: np.ndarray
+    grid: tuple[int, int]
+    n_ranks: int
+    config: SweepConfig
+
+    @property
+    def mean_sweep_us(self) -> float:
+        return float(np.mean(self.sweep_times_us))
+
+    def ideal_sweep_us(self, per_hop_us: float) -> float:
+        """Zero-noise estimate: pipeline fill + drain across the grid."""
+        px, py = self.grid
+        fill = (px + py - 2) * (self.config.block_compute_us + per_hop_us)
+        return fill + self.config.planes * self.config.block_compute_us
+
+
+def sweep_body(config: SweepConfig, grid: tuple[int, int], sink: dict):
+    """Body factory for the wavefront proxy."""
+    px, py = grid
+
+    def factory(rank: int, api: MpiApi):
+        i, j = rank % px, rank // px
+        times = []
+        for sweep in range(config.sweeps):
+            dx, dy = DIRECTIONS[sweep % len(DIRECTIONS)]
+            t0 = api.now
+            up_x = i - dx
+            up_y = j - dy
+            down_x = i + dx
+            down_y = j + dy
+            for plane in range(config.planes):
+                if 0 <= up_x < px:
+                    yield from api.recv(up_x + j * px, ("sw", sweep, plane, "x"))
+                if 0 <= up_y < py:
+                    yield from api.recv(i + up_y * px, ("sw", sweep, plane, "y"))
+                yield from api.compute(config.block_compute_us)
+                if 0 <= down_x < px:
+                    yield from api.send(
+                        down_x + j * px, ("sw", sweep, plane, "x"), None, config.boundary_bytes
+                    )
+                if 0 <= down_y < py:
+                    yield from api.send(
+                        i + down_y * px, ("sw", sweep, plane, "y"), None, config.boundary_bytes
+                    )
+            # Sweeps are separated by a light synchronisation (flux sum).
+            yield from api.allreduce(1.0)
+            times.append(api.now - t0)
+        if rank == 0:
+            sink["sweep_times"] = times
+
+    return factory
+
+
+def run_sweep(
+    system: System,
+    n_ranks: int,
+    tasks_per_node: int,
+    config: SweepConfig | None = None,
+    horizon_us: float = s(600),
+) -> SweepResult:
+    """Run the wavefront proxy to completion on *system*."""
+    cfg = config if config is not None else SweepConfig()
+    grid = grid_shape(n_ranks)
+    sink: dict = {}
+    job = system.launch(n_ranks, tasks_per_node, sweep_body(cfg, grid, sink), name="sweep")
+    elapsed = job.run(horizon_us=horizon_us)
+    return SweepResult(
+        elapsed_us=elapsed,
+        sweep_times_us=np.asarray(sink["sweep_times"], dtype=float),
+        grid=grid,
+        n_ranks=n_ranks,
+        config=cfg,
+    )

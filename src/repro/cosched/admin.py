@@ -1,0 +1,104 @@
+"""The ``/etc/poe.priority`` administrative interface.
+
+Paper §4: "The POE administrative interface is a file (/etc/poe.priority)
+that is root-only writable, and is assumed to be the same on each node.
+Each record in the file identifies a priority class name, user ID, and
+scheduling parameters … A user wishing to have a job controlled by the
+co-scheduler sets the POE environment variable MP_PRIORITY=<class>.  At
+job start, the administrative file is searched for a match of priority
+class and user ID.  If there is a match, the co-scheduler is started.
+Otherwise, an attention message is printed and the job runs as if no
+priority had been requested."
+
+File format (one record per line, ``#`` comments allowed)::
+
+    <class> <user> <favored> <unfavored> <period_seconds> <duty_percent>
+
+e.g. the paper's benchmark settings::
+
+    premium jones 30 100 5 90
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.config import CoschedConfig
+from repro.units import s
+
+__all__ = ["PriorityRecord", "PoePriorityFile"]
+
+
+@dataclass(frozen=True)
+class PriorityRecord:
+    """One admin-file record."""
+
+    klass: str
+    user: str
+    favored: int
+    unfavored: int
+    period_s: float
+    duty_percent: float
+
+    def to_config(self, **overrides) -> CoschedConfig:
+        """Build the co-scheduler schedule this record authorises."""
+        kwargs = dict(
+            enabled=True,
+            favored_priority=self.favored,
+            unfavored_priority=self.unfavored,
+            period_us=s(self.period_s),
+            duty_cycle=self.duty_percent / 100.0,
+        )
+        kwargs.update(overrides)
+        return CoschedConfig(**kwargs)
+
+
+class PoePriorityFile:
+    """Parsed ``/etc/poe.priority`` contents."""
+
+    def __init__(self, records: list[PriorityRecord]) -> None:
+        self.records = records
+
+    @classmethod
+    def parse(cls, text: str) -> "PoePriorityFile":
+        records = []
+        for lineno, raw in enumerate(text.splitlines(), start=1):
+            line = raw.split("#", 1)[0].strip()
+            if not line:
+                continue
+            parts = line.split()
+            if len(parts) != 6:
+                raise ValueError(
+                    f"/etc/poe.priority line {lineno}: expected 6 fields, got {len(parts)}"
+                )
+            klass, user = parts[0], parts[1]
+            try:
+                favored, unfavored = int(parts[2]), int(parts[3])
+                period_s_, duty_pct = float(parts[4]), float(parts[5])
+            except ValueError as exc:
+                raise ValueError(f"/etc/poe.priority line {lineno}: {exc}") from exc
+            if not 0 <= favored <= 127 or not 0 <= unfavored <= 127:
+                raise ValueError(f"/etc/poe.priority line {lineno}: priority out of range")
+            if not 0 < duty_pct <= 100:
+                raise ValueError(f"/etc/poe.priority line {lineno}: duty percent out of range")
+            if period_s_ <= 0:
+                raise ValueError(f"/etc/poe.priority line {lineno}: period must be positive")
+            records.append(PriorityRecord(klass, user, favored, unfavored, period_s_, duty_pct))
+        return cls(records)
+
+    @classmethod
+    def load(cls, path) -> "PoePriorityFile":
+        with open(path, "r", encoding="utf-8") as fh:
+            return cls.parse(fh.read())
+
+    def match(self, klass: str, user: str) -> Optional[PriorityRecord]:
+        """First record matching (class, user), as at job start.
+
+        Returns None when no record matches — the job then "runs as if no
+        priority had been requested".
+        """
+        for rec in self.records:
+            if rec.klass == klass and rec.user == user:
+                return rec
+        return None

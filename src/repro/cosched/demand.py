@@ -1,0 +1,97 @@
+"""Demand-based (dynamic) co-scheduling: the NOW-lineage baseline.
+
+The paper's related work (§6, category 3) covers co-schedulers built for
+networks of workstations — [Sobalvarro97]'s dynamic co-scheduling and its
+relatives — which infer that a process should run *now* from communication
+events: an arriving message boosts the recipient's priority for a short
+quantum, so communicating peers drift into alignment without any global
+clock.  The paper's critique is positional, not technical: those systems
+optimise machine-wide fairness/throughput, while dedicated HPC jobs need
+the whole working set scheduled simultaneously, which message-driven
+boosting only approximates.
+
+This implementation makes that comparison runnable (experiment E8): boosts
+ride the MPI world's message-arrival hook; each boost decays back to the
+task's base priority after a quantum unless refreshed by further traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import PRIO_NORMAL
+from repro.kernel.thread import Thread, ThreadState
+from repro.machine.cluster import Cluster
+from repro.mpi.world import MpiJob
+from repro.units import ms
+
+__all__ = ["DemandConfig", "DemandCoscheduler"]
+
+
+@dataclass(frozen=True)
+class DemandConfig:
+    """Dynamic co-scheduling parameters.
+
+    ``boost_priority`` must outrank the daemon band (56) to matter but
+    should stay below hard-real-time territory; the classic systems used
+    modest boosts with quanta around a scheduling timeslice.
+    """
+
+    boost_priority: int = 45
+    base_priority: int = PRIO_NORMAL
+    quantum_us: float = ms(10)
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.boost_priority <= 127:
+            raise ValueError("boost_priority out of range")
+        if self.boost_priority >= self.base_priority:
+            raise ValueError("boost must be numerically below the base priority")
+        if self.quantum_us <= 0:
+            raise ValueError("quantum_us must be positive")
+
+
+class DemandCoscheduler:
+    """Message-arrival-driven priority boosting for one job's tasks."""
+
+    def __init__(self, cluster: Cluster, job: MpiJob, config: DemandConfig | None = None) -> None:
+        self.cluster = cluster
+        self.job = job
+        self.config = config if config is not None else DemandConfig()
+        self._decay_evs: dict[int, object] = {}  # tid -> event
+        self.boosts = 0
+        if job.world.arrival_listener is not None:
+            raise RuntimeError("job already has an arrival listener")
+        job.world.arrival_listener = self._on_arrival
+
+    def _scheduler_for(self, task: Thread):
+        return self.cluster.nodes[task.node_id].scheduler
+
+    def _on_arrival(self, msg) -> None:
+        task = self.job.world.rank_threads.get(msg.dst)
+        if task is None or task.state is ThreadState.FINISHED:
+            return
+        sched = self._scheduler_for(task)
+        if task.priority != self.config.boost_priority:
+            sched.set_priority(task, self.config.boost_priority)
+            self.boosts += 1
+        old = self._decay_evs.pop(task.tid, None)
+        if old is not None:
+            old.cancel()
+        self._decay_evs[task.tid] = self.cluster.sim.schedule(
+            self.config.quantum_us, self._decay, task
+        )
+
+    def _decay(self, task: Thread) -> None:
+        self._decay_evs.pop(task.tid, None)
+        if task.state is not ThreadState.FINISHED:
+            self._scheduler_for(task).set_priority(task, self.config.base_priority)
+
+    def detach(self) -> None:
+        """Unhook and restore base priorities (end of experiment)."""
+        self.job.world.arrival_listener = None
+        for ev in self._decay_evs.values():
+            ev.cancel()
+        self._decay_evs.clear()
+        for task in self.job.tasks:
+            if task.state is not ThreadState.FINISHED:
+                self._scheduler_for(task).set_priority(task, self.config.base_priority)

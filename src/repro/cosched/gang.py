@@ -1,0 +1,156 @@
+"""Gang scheduling: the related-work baseline (paper §6, category 1).
+
+Gang schedulers (the LLNL Gang Scheduler, Concurrent Gang) multi-program
+two or more parallel jobs by giving each job the whole machine for a time
+slot, rotating on synchronised boundaries — classic quanta are minutes
+(NQS on the Paragon defaulted to 10).  The paper positions its own work
+against this: gang quanta are far too coarse to address context-switch
+interference *within* a slot, but gangs do solve the problem this module
+demonstrates — two fine-grain jobs timesharing a machine uncoordinated
+destroy each other, because an Allreduce needs all of a job's ranks
+scheduled simultaneously and uncoordinated equal-priority rotation almost
+never lines them up.
+
+Mechanics mirror the co-scheduler's: one daemon per node flips priorities
+on boundaries of the synchronised clock, so slots coincide cluster-wide
+with no daemon-to-daemon communication.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import PRIO_NORMAL
+from repro.kernel.thread import Compute, SleepUntil, Thread, ThreadState
+from repro.machine.cluster import Cluster
+from repro.machine.node import Node
+from repro.mpi.world import MpiJob
+from repro.units import ms, s
+
+__all__ = ["GangConfig", "GangScheduler", "NodeGangScheduler"]
+
+
+@dataclass(frozen=True)
+class GangConfig:
+    """Gang rotation parameters.
+
+    Production quanta are minutes; simulations compress (state it when
+    reporting).  Priorities reuse the co-scheduler bands: the in-slot job
+    is favored, out-of-slot jobs wait unfavored.
+    """
+
+    slot_us: float = s(60)
+    favored_priority: int = 30
+    unfavored_priority: int = 100
+    self_priority: int = 12
+    flip_cost_us: float = 40.0
+
+    def __post_init__(self) -> None:
+        if self.slot_us <= 0:
+            raise ValueError("slot_us must be positive")
+        if not 0 <= self.favored_priority <= 127:
+            raise ValueError("favored_priority out of range")
+        if not 0 <= self.unfavored_priority <= 127:
+            raise ValueError("unfavored_priority out of range")
+
+
+class NodeGangScheduler:
+    """Per-node slot rotation daemon over the jobs hosted on this node."""
+
+    def __init__(
+        self, cluster: Cluster, node: Node, config: GangConfig, n_jobs: int
+    ) -> None:
+        self.cluster = cluster
+        self.node = node
+        self.config = config
+        self.n_jobs = n_jobs
+        #: job index -> tasks of that job on this node.
+        self.job_tasks: dict[int, list[Thread]] = {j: [] for j in range(n_jobs)}
+        self._done = False
+        self.slots_run = 0
+        self.thread = node.scheduler.spawn(
+            self._body(),
+            name="gangd",
+            priority=config.self_priority,
+            affinity_cpu=0,
+            category="cosched",
+            allow_steal=True,
+        )
+
+    def register(self, job_index: int, task: Thread) -> None:
+        """Add a task of job *job_index* to this node's rotation."""
+        self.job_tasks[job_index].append(task)
+
+    def finish(self) -> None:
+        """All jobs done: stop rotating and restore normal priorities."""
+        self._done = True
+
+    def _apply_slot(self, active_job: int) -> None:
+        for j, tasks in self.job_tasks.items():
+            prio = (
+                self.config.favored_priority
+                if j == active_job
+                else self.config.unfavored_priority
+            )
+            for task in tasks:
+                if task.state is not ThreadState.FINISHED:
+                    self.node.scheduler.set_priority(task, prio)
+
+    def _body(self):
+        cfg = self.config
+        node = self.node
+        sim = self.cluster.sim
+        while not self._done:
+            # Slot index from the synchronised local clock: all nodes
+            # agree without communicating.
+            local = node.local_time(sim.now)
+            slot_idx = int(local // cfg.slot_us)
+            self._apply_slot(slot_idx % self.n_jobs)
+            yield Compute(cfg.flip_cost_us)
+            self.slots_run += 1
+            next_boundary = node.global_time((slot_idx + 1) * cfg.slot_us)
+            yield SleepUntil(max(next_boundary, sim.now))
+        for tasks in self.job_tasks.values():
+            for task in tasks:
+                if task.state is not ThreadState.FINISHED:
+                    node.scheduler.set_priority(task, PRIO_NORMAL)
+
+
+class GangScheduler:
+    """Cluster-wide gang scheduling over co-located MPI jobs.
+
+    Jobs must already be launched (their placements may overlap: two
+    16-task jobs on one 16-CPU node timeshare each CPU).  The scheduler
+    watches for completion and releases the rotation when every job is
+    done.
+    """
+
+    def __init__(self, cluster: Cluster, jobs: list[MpiJob], config: GangConfig) -> None:
+        if not jobs:
+            raise ValueError("need at least one job")
+        self.cluster = cluster
+        self.jobs = jobs
+        self.config = config
+        node_ids = sorted(
+            {
+                job.placement.node_of(r)
+                for job in jobs
+                for r in range(job.placement.n_ranks)
+            }
+        )
+        self.node_gangs = {
+            n: NodeGangScheduler(cluster, cluster.nodes[n], config, len(jobs))
+            for n in node_ids
+        }
+        for j, job in enumerate(jobs):
+            for rank in range(job.placement.n_ranks):
+                node = job.placement.node_of(rank)
+                self.node_gangs[node].register(j, job.world.rank_threads[rank])
+        self._watch()
+
+    def _watch(self) -> None:
+        if all(job.done for job in self.jobs):
+            for ng in self.node_gangs.values():
+                ng.finish()
+            return
+        self.cluster.sim.schedule(self.config.slot_us / 4.0, self._watch)

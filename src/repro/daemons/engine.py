@@ -1,0 +1,138 @@
+"""Turn :class:`~repro.config.DaemonSpec` descriptions into live threads.
+
+Each per-node daemon becomes one thread; ``per_cpu`` specs (interrupt
+handlers) become one thread per CPU.  A daemon's body is a simple
+activation loop::
+
+    sleep-until next activation      # tick-quantised → "big tick" batching
+    compute(service time)            # contends for a CPU like any work
+    schedule next activation
+
+Activations that slip past their period (because the co-scheduler denied
+the daemon CPU time) are executed back-to-back when the daemon finally
+runs — the "pile up work for seconds, then release it simultaneously"
+behaviour the paper's priority-swapping scheme deliberately creates
+(§3.1.3).
+
+Under the prototype kernel's global-queue policy (§3.1.2), daemon service
+times are inflated by the configured locality penalty — they run anywhere,
+slightly slower, maximally overlapped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.config import DaemonSpec, NoiseConfig
+from repro.kernel.thread import Compute, SleepUntil, Thread
+from repro.machine.cluster import Cluster
+
+__all__ = ["DaemonHandle", "install_noise"]
+
+
+@dataclass
+class DaemonHandle:
+    """One installed daemon instance (for introspection and tests)."""
+
+    spec: DaemonSpec
+    node: int
+    cpu: int
+    thread: Thread
+    activations: list  # mutable: [count]
+
+
+def _daemon_body(
+    spec: DaemonSpec,
+    first_activation_global: float,
+    penalty: float,
+    rng: np.random.Generator,
+    counter: list,
+    horizon_us: float | None,
+):
+    """Activation loop generator for one daemon instance."""
+    next_t = first_activation_global
+    while horizon_us is None or next_t < horizon_us:
+        yield SleepUntil(next_t)
+        service = spec.service.sample(rng)
+        if spec.pagefault_prob > 0.0 and rng.random() < spec.pagefault_prob:
+            service += spec.pagefault_cost_us
+        if penalty > 0.0:
+            service *= 1.0 + penalty
+        counter[0] += 1
+        yield Compute(service)
+        if spec.jitter > 0.0:
+            step = spec.period_us * (1.0 + spec.jitter * float(rng.uniform(-1.0, 1.0)))
+        else:
+            step = spec.period_us
+        next_t += step
+
+
+def install_noise(
+    cluster: Cluster,
+    noise: NoiseConfig | None = None,
+    horizon_us: float | None = None,
+) -> list[DaemonHandle]:
+    """Spawn every daemon in *noise* (default: the cluster config's) on
+    every node of *cluster*.
+
+    ``horizon_us`` optionally stops scheduling activations past a time
+    bound, letting ``Simulator.run()`` drain naturally in tests.
+
+    Phase resolution (first activation):
+
+    * ``spec.phase_us`` — exactly as given, in **global** time (an
+      experiment device for pinning a hit inside a measurement window);
+    * ``phase == "aligned"`` — one draw per daemon, same **local** time
+      on every node (synchronized crontabs; inter-node overlap then
+      depends on how well node clocks agree);
+    * ``phase == "random"`` — independent draw per node (and per CPU for
+      per-CPU specs), local time.
+    """
+    if noise is None:
+        noise = cluster.config.noise
+    penalty = (
+        cluster.config.kernel.global_queue_penalty
+        if cluster.config.kernel.daemons_global_queue
+        else 0.0
+    )
+    handles: list[DaemonHandle] = []
+    for d_index, spec in enumerate(noise.daemons):
+        aligned_rng = cluster.rngf.stream(f"daemon.{spec.name}.phase")
+        aligned_phase = float(aligned_rng.uniform(0.0, spec.period_us))
+        for node in cluster.nodes:
+            cpu_list = range(node.n_cpus) if spec.per_cpu else (d_index % node.n_cpus,)
+            for cpu in cpu_list:
+                rng = cluster.rngf.stream(f"daemon.{spec.name}.n{node.id}.c{cpu}")
+                if spec.phase_us is not None:
+                    first_global = max(0.0, spec.phase_us)
+                else:
+                    if spec.phase == "aligned":
+                        local_phase = aligned_phase
+                    else:
+                        local_phase = float(rng.uniform(0.0, spec.period_us))
+                    # The daemon schedules itself in node-local time.
+                    first_global = max(0.0, node.global_time(local_phase))
+                counter = [0]
+                body = _daemon_body(
+                    spec,
+                    first_global,
+                    0.0 if spec.per_cpu else penalty,
+                    rng,
+                    counter,
+                    horizon_us,
+                )
+                thread = node.scheduler.spawn(
+                    body,
+                    name=spec.name if not spec.per_cpu else f"{spec.name}.c{cpu}",
+                    priority=spec.priority,
+                    affinity_cpu=cpu,
+                    category="interrupt" if spec.hardware else "daemon",
+                    use_global_queue=not spec.per_cpu,
+                    allow_steal=not spec.per_cpu,
+                    tick_quantized=not spec.hardware,
+                    hardware=spec.hardware,
+                )
+                handles.append(DaemonHandle(spec, node.id, cpu, thread, counter))
+    return handles

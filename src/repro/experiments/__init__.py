@@ -1,0 +1,58 @@
+"""Experiment runners: one per paper table/figure (see DESIGN.md §3).
+
+Each runner is a pure function from (parameters, seed) to a result
+dataclass with the series the paper plots, plus a ``format_*`` helper that
+renders the same rows as an aligned text table (no plotting libraries in
+this environment).  The CLI (``repro-experiments``) and the benchmark
+suite both call these runners.
+
+Scale note: sweeps at paper processor counts (128–1728 CPUs) run on the
+vectorised :mod:`repro.analytic` model; mechanism-level experiments
+(Fig 4 attribution, ALE3D I/O, timer threads, Fig 1 overlap) run on the
+discrete-event simulator at reduced scale, stating any time compression
+they apply.
+"""
+
+from repro.experiments.common import (
+    PROTO16,
+    Scenario,
+    SweepResult,
+    VANILLA15,
+    VANILLA16,
+    allreduce_sweep,
+    make_config,
+)
+from repro.experiments.fig1 import Fig1Result, run_fig1
+from repro.experiments.fig4 import Fig4Result, run_fig4
+from repro.experiments.fig6 import Fig6Result, run_fig3, run_fig5, run_fig6, run_tpn15
+from repro.experiments.speedup import SpeedupResult, run_speedup154
+from repro.experiments.timer_threads import TimerThreadsResult, run_timer_threads
+from repro.experiments.ale3d_io import Ale3dIoResult, run_ale3d_io
+from repro.experiments.ablation import AblationResult, run_ablation
+
+__all__ = [
+    "Scenario",
+    "SweepResult",
+    "VANILLA16",
+    "VANILLA15",
+    "PROTO16",
+    "make_config",
+    "allreduce_sweep",
+    "Fig1Result",
+    "run_fig1",
+    "Fig4Result",
+    "run_fig4",
+    "Fig6Result",
+    "run_fig3",
+    "run_fig5",
+    "run_fig6",
+    "run_tpn15",
+    "SpeedupResult",
+    "run_speedup154",
+    "TimerThreadsResult",
+    "run_timer_threads",
+    "Ale3dIoResult",
+    "run_ale3d_io",
+    "AblationResult",
+    "run_ablation",
+]

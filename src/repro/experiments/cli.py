@@ -1,0 +1,181 @@
+"""Command-line entry point: regenerate any paper figure/table.
+
+::
+
+    repro-experiments fig1 fig3 fig4 fig5 fig6 tpn15 speedup timers ale3d ablation
+    repro-experiments extensions          # E1-E6
+    repro-experiments all --quick
+    repro-experiments fig3 fig6 --csv results/   # also dump CSV series
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+
+from repro.experiments import (
+    run_ablation,
+    run_ale3d_io,
+    run_fig1,
+    run_fig3,
+    run_fig4,
+    run_fig5,
+    run_fig6,
+    run_speedup154,
+    run_timer_threads,
+    run_tpn15,
+)
+from repro.experiments.ablation import format_ablation
+from repro.experiments.ale3d_io import format_ale3d_io
+from repro.experiments.extensions import (
+    format_fine_grain,
+    format_hw_collectives,
+    format_misalignment,
+    format_multijob,
+    run_fine_grain,
+    run_hw_collectives,
+    run_misalignment,
+    run_multijob,
+)
+from repro.experiments.workloads import (
+    format_granularity,
+    format_sensitivity,
+    format_waitmode,
+    run_granularity,
+    run_sensitivity,
+    run_waitmode,
+)
+from repro.experiments.fig1 import format_fig1
+from repro.experiments.fig4 import format_fig4
+from repro.experiments.fig6 import format_fig6, format_sweep
+from repro.experiments.speedup import format_speedup
+from repro.experiments.timer_threads import format_timer_threads
+
+__all__ = ["main"]
+
+
+def _quick_kwargs(quick: bool) -> dict:
+    if not quick:
+        return {}
+    return {"n_calls": 150, "n_seeds": 2, "proc_counts": (128, 512, 944, 1728)}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Parse arguments, run the requested experiments, print reports."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the paper's figures and text results (see DESIGN.md).",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="+",
+        choices=[
+            "fig1", "fig3", "fig4", "fig5", "fig6",
+            "tpn15", "speedup", "timers", "ale3d", "ablation",
+            "multijob", "hw", "finegrain", "misalign",
+            "waitmode", "sensitivity", "granularity", "validate",
+            "all", "extensions",
+        ],
+    )
+    parser.add_argument("--quick", action="store_true", help="smaller sweeps for a fast pass")
+    parser.add_argument("--csv", metavar="DIR", help="also write CSV series to DIR")
+    args = parser.parse_args(argv)
+
+    def csv_out(name: str, headers, rows) -> None:
+        if not args.csv:
+            return
+        from repro.experiments.reporting import write_csv
+
+        os.makedirs(args.csv, exist_ok=True)
+        path = os.path.join(args.csv, f"{name}.csv")
+        write_csv(path, headers, rows)
+        print(f"[csv: {path}]")
+
+    wanted = list(args.experiments)
+    if "all" in wanted:
+        wanted = ["fig1", "fig3", "fig4", "fig5", "fig6", "tpn15",
+                  "speedup", "timers", "ale3d", "ablation",
+                  "multijob", "hw", "finegrain", "misalign",
+                  "waitmode", "sensitivity", "granularity"]
+    elif "extensions" in wanted:
+        wanted = ["multijob", "hw", "finegrain", "misalign",
+                  "waitmode", "sensitivity", "granularity"]
+
+    qa = _quick_kwargs(args.quick)
+    for name in wanted:
+        t0 = time.time()
+        print(f"=== {name} " + "=" * (60 - len(name)))
+        sweep_headers = ("procs", "mean_us", "run_std_us", "call_std_us")
+        if name == "fig1":
+            print(format_fig1(run_fig1()))
+        elif name == "fig3":
+            res = run_fig3(**qa)
+            print(format_sweep(res, "Figure 3: vanilla kernel, 16 tasks/node"))
+            csv_out("fig3", sweep_headers, res.rows())
+        elif name == "fig4":
+            res = run_fig4()
+            print(format_fig4(res))
+            csv_out(
+                "fig4",
+                ("index", "sorted_allreduce_us"),
+                enumerate(res.sorted_durations_us),
+            )
+        elif name == "fig5":
+            res = run_fig5(**qa)
+            print(format_sweep(res, "Figure 5: prototype kernel + co-scheduler"))
+            csv_out("fig5", sweep_headers, res.rows())
+        elif name == "fig6":
+            res = run_fig6(**qa)
+            print(format_fig6(res))
+            csv_out(
+                "fig6",
+                ("procs", "vanilla_us", "prototype_us"),
+                zip(res.vanilla.proc_counts, res.vanilla.mean_us, res.prototype.mean_us),
+            )
+        elif name == "tpn15":
+            res = run_tpn15(**qa)
+            print(format_sweep(res, "T1: vanilla kernel, 15 tasks/node"))
+            csv_out("tpn15", sweep_headers, res.rows())
+        elif name == "speedup":
+            print(format_speedup(run_speedup154()))
+        elif name == "timers":
+            print(format_timer_threads(run_timer_threads()))
+        elif name == "ale3d":
+            print(format_ale3d_io(run_ale3d_io()))
+        elif name == "ablation":
+            print(format_ablation(run_ablation()))
+        elif name == "multijob":
+            print(format_multijob(run_multijob()))
+        elif name == "hw":
+            print(format_hw_collectives(run_hw_collectives()))
+        elif name == "finegrain":
+            print(format_fine_grain(run_fine_grain()))
+        elif name == "misalign":
+            print(format_misalignment(run_misalignment()))
+        elif name == "waitmode":
+            print(format_waitmode(run_waitmode()))
+        elif name == "sensitivity":
+            print(format_sensitivity(run_sensitivity()))
+        elif name == "granularity":
+            res = run_granularity()
+            print(format_granularity(res))
+            csv_out(
+                "granularity",
+                ("compute_us", "vanilla_eff", "prototype_eff"),
+                zip(res.compute_us, res.vanilla_efficiency, res.prototype_efficiency),
+            )
+        elif name == "validate":
+            from repro.experiments.validate import format_validation, run_validation
+
+            checks = run_validation()
+            print(format_validation(checks))
+            if any(not c.passed for c in checks):
+                return 1
+        print(f"[{name}: {time.time() - t0:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

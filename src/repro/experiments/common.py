@@ -1,0 +1,163 @@
+"""Shared experiment infrastructure: canonical scenarios and sweeps.
+
+The three configurations the paper contrasts, reused across figures:
+
+* **vanilla16** — stock AIX 4.3.3 semantics, 16 tasks/node, MPI timer
+  threads at their default 400 ms period (Figure 3).
+* **vanilla15** — the community workaround: leave one CPU per node idle
+  for the daemons (§5.3 baseline, the comparand of the 154 % result).
+* **proto16** — the paper's full treatment: prototype kernel (big tick
+  250 ms, simultaneous cluster-aligned ticks, global daemon queue,
+  real-time scheduling with both fixes) + co-scheduler (favored 30 /
+  unfavored 100 / 5 s period / 90 % duty) + the ``MP_POLLING_INTERVAL``
+  timer-thread fix (Figures 5 and 6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from repro.analytic.model import AllreduceSeriesModel
+from repro.config import (
+    ClusterConfig,
+    CoschedConfig,
+    KernelConfig,
+    MachineConfig,
+    MpiConfig,
+    NoiseConfig,
+)
+from repro.daemons.catalog import standard_noise
+
+__all__ = [
+    "Scenario",
+    "VANILLA16",
+    "VANILLA15",
+    "PROTO16",
+    "make_config",
+    "SweepResult",
+    "allreduce_sweep",
+    "PAPER_PROC_COUNTS",
+]
+
+#: Processor counts sampled in the sweeps — spanning the paper's plotted
+#: range up to near Blue Oak's 1920 CPUs.
+PAPER_PROC_COUNTS: tuple[int, ...] = (128, 256, 512, 944, 1360, 1728)
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One machine configuration under test."""
+
+    name: str
+    kernel: Callable[[], KernelConfig]
+    tasks_per_node: int
+    #: MPI timer-thread fix applied (long MP_POLLING_INTERVAL)?
+    long_polling: bool
+    cosched: bool
+
+    def mpi_config(self) -> MpiConfig:
+        """MPI settings for this scenario (timer-thread fix applied or not)."""
+        return MpiConfig.with_long_polling() if self.long_polling else MpiConfig()
+
+    def cosched_config(self) -> CoschedConfig:
+        """Co-scheduler settings for this scenario (paper defaults)."""
+        return CoschedConfig(enabled=self.cosched)
+
+
+VANILLA16 = Scenario("vanilla16", KernelConfig.vanilla, 16, False, False)
+VANILLA15 = Scenario("vanilla15", KernelConfig.vanilla, 15, False, False)
+PROTO16 = Scenario("proto16", KernelConfig.prototype, 16, True, True)
+
+
+def make_config(
+    scenario: Scenario,
+    n_ranks: int,
+    seed: int = 0,
+    cpus_per_node: int = 16,
+    noise: Optional[NoiseConfig] = None,
+    include_cron: bool = False,
+) -> ClusterConfig:
+    """Build the full ClusterConfig for a scenario at a given job size.
+
+    ``include_cron`` is off for scaling sweeps (the paper's fitted lines
+    exclude the known cron outlier — Fig 4 studies it separately) and on
+    where the experiment wants the outlier.
+    """
+    n_nodes = -(-n_ranks // scenario.tasks_per_node)
+    return ClusterConfig(
+        machine=MachineConfig(n_nodes=n_nodes, cpus_per_node=cpus_per_node),
+        kernel=scenario.kernel(),
+        mpi=scenario.mpi_config(),
+        cosched=scenario.cosched_config(),
+        noise=noise if noise is not None else standard_noise(include_cron=include_cron),
+        seed=seed,
+    )
+
+
+@dataclass
+class SweepResult:
+    """Allreduce latency vs processor count for one scenario."""
+
+    scenario: str
+    proc_counts: np.ndarray
+    #: Mean per-call Allreduce time at each count, averaged over seeds (µs).
+    mean_us: np.ndarray
+    #: Std over seeds of the per-run means — the run-to-run variability the
+    #: paper's scatter shows.
+    run_std_us: np.ndarray
+    #: Mean within-run standard deviation (call-to-call variability).
+    call_std_us: np.ndarray
+    n_seeds: int
+    n_calls: int
+
+    def rows(self) -> list[tuple[int, float, float, float]]:
+        """Table rows: (procs, mean, run-σ, call-σ)."""
+        return [
+            (int(n), float(m), float(rs), float(cs))
+            for n, m, rs, cs in zip(
+                self.proc_counts, self.mean_us, self.run_std_us, self.call_std_us
+            )
+        ]
+
+
+def allreduce_sweep(
+    scenario: Scenario,
+    proc_counts: Sequence[int] = PAPER_PROC_COUNTS,
+    n_calls: int = 400,
+    n_seeds: int = 3,
+    compute_between_us: float = 200.0,
+    base_seed: int = 1000,
+) -> SweepResult:
+    """Model an aggregate_trace-style series at each processor count.
+
+    Mirrors the paper's methodology: "each plotted datum is the average of
+    at least 3 runs, and each run is the result of thousands of
+    Allreduces" (we default to hundreds per run; benchmarks may raise it).
+    """
+    means = np.empty(len(proc_counts))
+    run_stds = np.empty(len(proc_counts))
+    call_stds = np.empty(len(proc_counts))
+    for i, n in enumerate(proc_counts):
+        per_seed = []
+        per_std = []
+        for s in range(n_seeds):
+            cfg = make_config(scenario, n, seed=base_seed + s)
+            model = AllreduceSeriesModel(cfg, n, scenario.tasks_per_node, seed=base_seed + 7 * s + n)
+            res = model.run_series(n_calls, compute_between_us=compute_between_us)
+            per_seed.append(res.mean_us)
+            per_std.append(res.std_us)
+        means[i] = float(np.mean(per_seed))
+        run_stds[i] = float(np.std(per_seed))
+        call_stds[i] = float(np.mean(per_std))
+    return SweepResult(
+        scenario.name,
+        np.asarray(proc_counts, dtype=int),
+        means,
+        run_stds,
+        call_stds,
+        n_seeds,
+        n_calls,
+    )

@@ -1,0 +1,111 @@
+"""Aligned text tables, ASCII charts and CSV output for experiment results.
+
+No plotting library is available in this environment, so figure-style
+results render as monospace scatter charts: good enough to see linear vs
+logarithmic scaling and the vanilla/prototype gap at a glance in any
+terminal or CI log.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Iterable, Mapping, Sequence
+
+__all__ = ["text_table", "write_csv", "ascii_chart"]
+
+
+def text_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str | None = None,
+    floatfmt: str = "{:.1f}",
+) -> str:
+    """Render rows as an aligned monospace table."""
+    def cell(v: object) -> str:
+        if isinstance(v, float):
+            return floatfmt.format(v)
+        return str(v)
+
+    srows = [[cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in srows:
+        for i, c in enumerate(row):
+            widths[i] = max(widths[i], len(c))
+    out = io.StringIO()
+    if title:
+        out.write(title + "\n")
+    out.write("  ".join(h.rjust(w) for h, w in zip(headers, widths)) + "\n")
+    out.write("  ".join("-" * w for w in widths) + "\n")
+    for row in srows:
+        out.write("  ".join(c.rjust(w) for c, w in zip(row, widths)) + "\n")
+    return out.getvalue()
+
+
+def write_csv(path, headers: Sequence[str], rows: Iterable[Sequence[object]]) -> None:
+    """Dump rows as CSV (plain text, no quoting needs expected)."""
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(",".join(headers) + "\n")
+        for row in rows:
+            fh.write(",".join(str(v) for v in row) + "\n")
+
+
+def ascii_chart(
+    x: Sequence[float],
+    series: Mapping[str, Sequence[float]],
+    width: int = 64,
+    height: int = 16,
+    title: str | None = None,
+    x_label: str = "",
+    y_label: str = "",
+) -> str:
+    """Render one or more y-series against shared x as a monospace scatter.
+
+    Each series gets a marker (``*``, ``o``, ``+``, ``x`` …); overlapping
+    points show the later series' marker.  Axes are annotated with the
+    data ranges, and a legend maps markers to series names.
+    """
+    markers = "*o+x#@%&"
+    xs = [float(v) for v in x]
+    if not xs:
+        raise ValueError("empty x")
+    all_y = [float(v) for ys in series.values() for v in ys]
+    if not all_y:
+        raise ValueError("no series data")
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(all_y), max(all_y)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for si, (name, ys) in enumerate(series.items()):
+        if len(ys) != len(xs):
+            raise ValueError(f"series {name!r} length mismatch")
+        mark = markers[si % len(markers)]
+        for xv, yv in zip(xs, ys):
+            col = int(round((float(xv) - x_lo) / x_span * (width - 1)))
+            row = int(round((float(yv) - y_lo) / y_span * (height - 1)))
+            grid[height - 1 - row][col] = mark
+
+    out = io.StringIO()
+    if title:
+        out.write(title + "\n")
+    y_hi_s, y_lo_s = f"{y_hi:.6g}", f"{y_lo:.6g}"
+    margin = max(len(y_hi_s), len(y_lo_s), len(y_label)) + 1
+    for r, line in enumerate(grid):
+        if r == 0:
+            label = y_hi_s
+        elif r == height - 1:
+            label = y_lo_s
+        elif r == height // 2 and y_label:
+            label = y_label
+        else:
+            label = ""
+        out.write(label.rjust(margin) + " |" + "".join(line) + "\n")
+    out.write(" " * margin + " +" + "-" * width + "\n")
+    x_axis = f"{x_lo:.6g}".ljust(width - len(f"{x_hi:.6g}")) + f"{x_hi:.6g}"
+    out.write(" " * margin + "  " + x_axis + (f"  {x_label}" if x_label else "") + "\n")
+    legend = "   ".join(
+        f"{markers[i % len(markers)]} {name}" for i, name in enumerate(series)
+    )
+    out.write(" " * margin + "  " + legend + "\n")
+    return out.getvalue()

@@ -1,0 +1,130 @@
+"""Priority run queues with lazy removal.
+
+AIX dispatch order: numerically lowest priority first; FIFO among equals.
+Entries are heap tuples ``(priority, seq, thread)``; removal (thread chosen
+elsewhere, priority change) marks the entry stale via the thread's
+``rq_entry`` back-pointer and the heap skips stale entries on pop —
+the same O(1)-cancel idiom the event queue uses.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Iterator, Optional
+
+from repro.kernel.thread import Thread
+
+__all__ = ["RunQueue"]
+
+
+class _Entry:
+    __slots__ = ("priority", "seq", "thread", "live")
+
+    def __init__(self, priority: int, seq: int, thread: Thread) -> None:
+        self.priority = priority
+        self.seq = seq
+        self.thread = thread
+        self.live = True
+
+    def __lt__(self, other: "_Entry") -> bool:
+        return (self.priority, self.seq) < (other.priority, other.seq)
+
+
+class RunQueue:
+    """One dispatch queue (per-CPU local, or node-global for daemons)."""
+
+    _seq = itertools.count()
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._heap: list[_Entry] = []
+        self._live = 0
+
+    def __len__(self) -> int:
+        return self._live
+
+    def __bool__(self) -> bool:
+        return self._live > 0
+
+    def push(self, thread: Thread) -> None:
+        """Enqueue *thread* at its current priority, behind equals."""
+        if thread.rq_entry is not None and thread.rq_entry.live:
+            raise RuntimeError(f"{thread!r} is already queued")
+        entry = _Entry(thread.priority, next(self._seq), thread)
+        thread.rq_entry = entry
+        heapq.heappush(self._heap, entry)
+        self._live += 1
+
+    def remove(self, thread: Thread) -> None:
+        """Dequeue *thread* (lazy)."""
+        entry = thread.rq_entry
+        if entry is None or not entry.live:
+            raise RuntimeError(f"{thread!r} is not queued")
+        entry.live = False
+        entry.thread = None
+        thread.rq_entry = None
+        self._live -= 1
+
+    def _prune(self) -> None:
+        heap = self._heap
+        while heap and not heap[0].live:
+            heapq.heappop(heap)
+
+    def best_priority(self) -> Optional[int]:
+        """Priority of the head thread, or None when empty."""
+        self._prune()
+        return self._heap[0].priority if self._heap else None
+
+    def peek(self) -> Optional[Thread]:
+        """Return (without removing) the head thread, or None."""
+        self._prune()
+        return self._heap[0].thread if self._heap else None
+
+    def pop(self) -> Optional[Thread]:
+        """Dequeue and return the best thread, or None when empty."""
+        self._prune()
+        if not self._heap:
+            return None
+        entry = heapq.heappop(self._heap)
+        thread = entry.thread
+        entry.live = False
+        entry.thread = None
+        thread.rq_entry = None
+        self._live -= 1
+        return thread
+
+    def best_stealable_priority(self) -> Optional[int]:
+        """Best priority among threads that permit migration, or None."""
+        best: Optional[int] = None
+        for entry in self._heap:
+            if entry.live and entry.thread.allow_steal:
+                if best is None or entry.priority < best:
+                    best = entry.priority
+        return best
+
+    def pop_stealable(self) -> Optional[Thread]:
+        """Dequeue the best thread with ``allow_steal`` set, or None.
+
+        Linear scan — stealing is rare (only when a CPU idles with an empty
+        local queue), and queues are short.
+        """
+        best_entry: Optional[_Entry] = None
+        for entry in self._heap:
+            if entry.live and entry.thread.allow_steal:
+                if best_entry is None or entry < best_entry:
+                    best_entry = entry
+        if best_entry is None:
+            return None
+        thread = best_entry.thread
+        best_entry.live = False
+        best_entry.thread = None
+        thread.rq_entry = None
+        self._live -= 1
+        return thread
+
+    def threads(self) -> Iterator[Thread]:
+        """Iterate live queued threads (test/introspection helper)."""
+        for entry in self._heap:
+            if entry.live:
+                yield entry.thread

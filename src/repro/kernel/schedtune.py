@@ -1,0 +1,86 @@
+"""`schedtune`-style kernel option surface.
+
+The paper notes that "implementing these changes as options in a production
+operating system such as AIX requires some mechanism for selecting these
+options.  We accomplished this by adding options to the `schedtune` command".
+This module is that mechanism's analogue: a small command-like interface
+that validates option names/values and produces :class:`KernelConfig`
+instances, so experiment scripts read like the administrative actions the
+paper describes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import fields
+from typing import Any, Mapping
+
+from repro.config import KernelConfig
+
+__all__ = ["Schedtune"]
+
+#: Options the prototype kernel added, with the paper section introducing
+#: each (kept as documentation surfaced through `describe`).
+_PAPER_OPTIONS = {
+    "big_tick_multiplier": "§3.1.1 Generate fewer routine timer interrupts",
+    "tick_phase": "§3.2.1 Take timer ticks simultaneously on each CPU",
+    "align_ticks_to_global_time": "§4 Schedule tick interrupts at the same time cluster-wide",
+    "realtime_scheduling": "§3 Existing AIX real-time scheduling option",
+    "fix_reverse_preemption": "§3 improvement 1: IPI on reverse pre-emption",
+    "fix_multi_ipi": "§3 improvement 2: multiple in-flight preemption IPIs",
+    "daemons_global_queue": "§3.1.2 Execute overhead tasks with maximum parallelism",
+}
+
+
+class Schedtune:
+    """Mutable view over kernel options; `commit()` yields a KernelConfig.
+
+    >>> st = Schedtune()
+    >>> st.set("big_tick_multiplier", 25)
+    >>> st.set("tick_phase", "aligned")
+    >>> cfg = st.commit()
+    >>> cfg.physical_tick_period_us
+    250000.0
+    """
+
+    def __init__(self, base: KernelConfig | None = None) -> None:
+        self._base = base if base is not None else KernelConfig()
+        self._pending: dict[str, Any] = {}
+        self._valid = {f.name for f in fields(KernelConfig)}
+
+    def set(self, option: str, value: Any) -> None:
+        """Stage an option change; unknown names raise immediately."""
+        if option not in self._valid:
+            raise KeyError(
+                f"schedtune: unknown option {option!r}; valid: {sorted(self._valid)}"
+            )
+        self._pending[option] = value
+
+    def set_many(self, options: Mapping[str, Any]) -> None:
+        """Stage several option changes at once."""
+        for k, v in options.items():
+            self.set(k, v)
+
+    def get(self, option: str) -> Any:
+        """Current (staged or base) value of an option."""
+        if option in self._pending:
+            return self._pending[option]
+        if option not in self._valid:
+            raise KeyError(f"schedtune: unknown option {option!r}")
+        return getattr(self._base, option)
+
+    def commit(self) -> KernelConfig:
+        """Validate and return the resulting immutable KernelConfig."""
+        return self._base.with_options(**self._pending)
+
+    def reset(self) -> None:
+        """Discard all staged changes."""
+        self._pending.clear()
+
+    @staticmethod
+    def describe(option: str) -> str:
+        """Where in the paper an option comes from ('' for base options)."""
+        return _PAPER_OPTIONS.get(option, "")
+
+    @staticmethod
+    def paper_options() -> tuple[str, ...]:
+        return tuple(_PAPER_OPTIONS)

@@ -1,0 +1,657 @@
+"""The per-node dispatcher: priority scheduling with AIX preemption semantics.
+
+One :class:`NodeScheduler` owns the CPUs of one SMP node.  The behaviours
+the paper manipulates are all here:
+
+**Delayed cross-CPU preemption (§3).**  When a readying operation should
+preempt a *different*, busy CPU, stock AIX waits for that CPU to notice at
+its next natural kernel entry — in the worst case the next 10 ms timer
+tick.  With the "real time scheduling" option the readying side forces a
+hardware interrupt (IPI) instead, observed to land in tenths of a
+millisecond.  Two stock deficiencies the paper fixed are modelled as flags:
+no IPI on *reverse* preemption (a running thread's priority being lowered
+below a waiter's), and at most one preemption IPI in flight at a time.
+
+**Same-CPU immediacy.**  A wakeup processed on the CPU that should run the
+thread (our quantised daemon wakeups fire in that CPU's tick context) can
+preempt immediately — "if the processor involved is the one on which the
+readying operation occurred, the pre-emption can be immediate".
+
+**Equal-priority rotation.**  Runnable equals share a CPU round-robin at
+tick boundaries.  This is how an MPI task's auxiliary timer thread (equal
+priority, same binding) steals time from a spinning main thread, and how
+two MPI tasks forced onto one CPU (the ALE3D trace) serialise.
+
+**Queue policy (§3.1.2).**  Daemons are queued per-CPU for locality by
+default; the prototype queues them to a node-global queue served by all
+CPUs, trading a per-daemon penalty for maximal overlap.  (The penalty is
+applied by the daemon engine inflating service times; the scheduler just
+provides the queue.)
+
+**Work stealing.**  An idle CPU takes work whose ``allow_steal`` permits
+migration — how a 15-tasks-per-node configuration lets the spare CPU
+absorb daemon activity.  Bound job threads are never stolen.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, Optional
+
+from repro.config import KernelConfig, PRIO_IDLE
+from repro.kernel.runqueue import RunQueue
+from repro.kernel.thread import (
+    Block,
+    Compute,
+    SetPriority,
+    Sleep,
+    SleepUntil,
+    SpinWait,
+    Thread,
+    ThreadState,
+    YieldCpu,
+)
+from repro.kernel.ticks import TickSchedule
+from repro.sim.core import EventPriority, Simulator
+
+__all__ = ["CpuState", "NodeScheduler"]
+
+
+class CpuState:
+    """Dispatcher-visible state of one CPU."""
+
+    __slots__ = (
+        "index",
+        "thread",
+        "run_began",
+        "last_switch",
+        "check_ev",
+        "busy_us",
+        "last_tid",
+    )
+
+    def __init__(self, index: int) -> None:
+        self.index = index
+        self.thread: Optional[Thread] = None
+        #: When the current occupant was placed (for trace intervals).
+        self.run_began: float = 0.0
+        self.last_switch: float = 0.0
+        #: Pending tick-boundary preemption/rotation check event.
+        self.check_ev = None
+        #: Accumulated busy wall time (utilisation accounting).
+        self.busy_us: float = 0.0
+        #: tid of the previous occupant (cache-pollution accounting).
+        self.last_tid: Optional[int] = None
+
+    @property
+    def idle(self) -> bool:
+        return self.thread is None
+
+
+class NodeScheduler:
+    """Priority dispatcher for the CPUs of one node.
+
+    Parameters
+    ----------
+    sim:
+        The shared simulator.
+    node_id:
+        Node index (for traces and thread identity).
+    n_cpus:
+        CPUs on this node.
+    config:
+        Kernel policy.
+    ticks:
+        This node's tick schedule (phase may be node-specific).
+    trace:
+        Optional object with ``record_interval(node_id, cpu, thread, t0,
+        t1)``; called whenever a thread leaves a CPU.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        node_id: int,
+        n_cpus: int,
+        config: KernelConfig,
+        ticks: TickSchedule,
+        trace: Optional[Any] = None,
+    ) -> None:
+        self.sim = sim
+        self.node_id = node_id
+        self.n_cpus = n_cpus
+        self.config = config
+        self.ticks = ticks
+        self.trace = trace
+        self.cpus = [CpuState(i) for i in range(n_cpus)]
+        self.local_queues = [RunQueue(f"n{node_id}c{i}") for i in range(n_cpus)]
+        self.global_queue = RunQueue(f"n{node_id}g")
+        self.threads: list[Thread] = []
+        self._ipis_inflight = 0
+        #: IPIs suppressed by the stock one-in-flight rule (for tests/stats).
+        self.ipis_suppressed = 0
+        self.ipis_sent = 0
+
+    # ==================================================================
+    # Public API
+    # ==================================================================
+    def spawn(
+        self,
+        body: Generator,
+        name: str,
+        priority: int,
+        affinity_cpu: int,
+        category: str = "app",
+        use_global_queue: bool = False,
+        allow_steal: bool = True,
+        tick_quantized: bool = True,
+        hardware: bool = False,
+        start: bool = True,
+    ) -> Thread:
+        """Create a thread and advance it to its first request.
+
+        ``start=False`` defers the first advance until :meth:`start` —
+        needed when the body's first request touches registration state
+        keyed by the thread itself.
+        """
+        if not 0 <= affinity_cpu < self.n_cpus:
+            raise ValueError(f"affinity_cpu {affinity_cpu} out of range")
+        thread = Thread(
+            body,
+            name=name,
+            priority=priority,
+            node_id=self.node_id,
+            affinity_cpu=affinity_cpu,
+            category=category,
+            use_global_queue=use_global_queue,
+            allow_steal=allow_steal,
+            tick_quantized=tick_quantized,
+            hardware=hardware,
+        )
+        self.threads.append(thread)
+        if start:
+            self._advance(thread, None)
+        return thread
+
+    def start(self, thread: Thread) -> None:
+        """Begin executing a thread spawned with ``start=False``."""
+        if thread.state is not ThreadState.NEW:
+            raise RuntimeError(f"start() on {thread!r} in state {thread.state}")
+        self._advance(thread, None)
+
+    def wake(self, thread: Thread, value: Any = None) -> None:
+        """Complete a Block/Sleep: advance the thread to its next request."""
+        if thread.state not in (ThreadState.BLOCKED, ThreadState.SLEEPING):
+            raise RuntimeError(f"wake() on {thread!r} in state {thread.state}")
+        if thread.wake_ev is not None:
+            thread.wake_ev.cancel()
+            thread.wake_ev = None
+        self._advance(thread, value)
+
+    def spin_deliver(self, thread: Thread, value: Any) -> None:
+        """Satisfy a SpinWait: the spun-on event occurred."""
+        if thread.spinning is None:
+            raise RuntimeError(f"spin_deliver() on non-spinning {thread!r}")
+        thread.spinning = None
+        if thread.state is ThreadState.RUNNING:
+            # Account the spin occupancy before the thread moves on.
+            cpu = self.cpus[thread.cpu]
+            thread.stats.cpu_time_us += self.sim.now - cpu.run_began
+            cpu.run_began = self.sim.now
+            self._advance(thread, value)
+        elif thread.state is ThreadState.READY:
+            # Preempted mid-spin; resume the generator at next dispatch.
+            thread.spin_value = value
+            thread.resume_advance = True
+        else:  # pragma: no cover - spinners are only RUNNING or READY
+            raise RuntimeError(f"spinner {thread!r} in state {thread.state}")
+
+    def set_priority(self, thread: Thread, priority: int, self_call: bool = False) -> None:
+        """Change *thread*'s dispatch priority (the co-scheduler's tool).
+
+        ``self_call`` marks a thread changing its own priority via syscall,
+        where the kernel is entered anyway and preemption is immediate;
+        external changes to a *running* thread on another CPU go through
+        the reverse-preemption noticing machinery.
+        """
+        if not 0 <= priority <= 127:
+            raise ValueError("priority out of range [0, 127]")
+        old = thread.priority
+        if priority == old:
+            return
+        thread.priority = priority
+        if thread.on_priority_change is not None:
+            thread.on_priority_change(thread, old, priority)
+
+        if thread.state is ThreadState.READY:
+            q = self._queue_for(thread)
+            q.remove(thread)
+            q.push(thread)
+            if priority < old:
+                self._consider_placement(thread)
+        elif thread.state is ThreadState.RUNNING:
+            if priority > old:
+                # Reverse preemption: is a waiter now better than us?
+                cpu_idx = thread.cpu
+                best = self._best_waiting_priority(cpu_idx)
+                if best is not None and best < priority:
+                    if self_call:
+                        # Syscall exit is a natural preemption point.
+                        self._check_cpu(cpu_idx)
+                    elif self.config.realtime_scheduling and self.config.fix_reverse_preemption:
+                        self._send_ipi(cpu_idx)
+                    else:
+                        self._schedule_check(cpu_idx)
+        # BLOCKED / SLEEPING / NEW / FINISHED: takes effect on next wakeup.
+
+    def idle_cpus(self) -> int:
+        """Number of CPUs with no occupant right now."""
+        return sum(1 for c in self.cpus if c.idle)
+
+    def running_threads(self) -> list[Optional[Thread]]:
+        """Per-CPU occupants (None for idle CPUs)."""
+        return [c.thread for c in self.cpus]
+
+    # ==================================================================
+    # Generator driving
+    # ==================================================================
+    def _advance(self, thread: Thread, value: Any) -> None:
+        """Drive the body generator until it issues a time-taking request."""
+        sim = self.sim
+        while True:
+            try:
+                req = thread.gen.send(value)
+            except StopIteration:
+                self._finish(thread)
+                return
+            value = None
+
+            if isinstance(req, Compute):
+                if req.duration_us <= 0:
+                    continue
+                thread.work_remaining = req.duration_us
+                if thread.state is ThreadState.RUNNING:
+                    self._schedule_completion(thread)
+                else:
+                    self._make_ready(thread)
+                return
+
+            if isinstance(req, (Sleep, SleepUntil)):
+                if isinstance(req, Sleep):
+                    wake_t = sim.now + req.duration_us
+                else:
+                    wake_t = max(sim.now, req.time_us)
+                if thread.tick_quantized:
+                    wake_t = self.ticks.quantize_wake(thread.affinity_cpu, wake_t)
+                if thread.state is ThreadState.RUNNING:
+                    self._off_cpu_and_dispatch(thread, voluntary=True)
+                thread.state = ThreadState.SLEEPING
+                thread.wake_ev = sim.schedule_at(
+                    wake_t, self._timer_wake, thread, priority=EventPriority.KERNEL
+                )
+                return
+
+            if isinstance(req, Block):
+                if thread.state is ThreadState.RUNNING:
+                    self._off_cpu_and_dispatch(thread, voluntary=True)
+                thread.state = ThreadState.BLOCKED
+                return
+
+            if isinstance(req, SpinWait):
+                res = req.register(thread)
+                if res is not None:
+                    value = res  # event already occurred; no spin needed
+                    continue
+                thread.spinning = req
+                if thread.state is ThreadState.RUNNING:
+                    # Occupy the CPU open-endedly; no completion event.
+                    thread.run_start = self.sim.now
+                    thread.run_work = 0.0
+                else:
+                    self._make_ready(thread)
+                return
+
+            if isinstance(req, SetPriority):
+                self.set_priority(thread, req.priority, self_call=True)
+                if thread.state is not ThreadState.RUNNING:
+                    # set_priority preempted us (reverse preemption at the
+                    # syscall boundary); the generator resumes at dispatch.
+                    thread.resume_advance = True
+                    return
+                continue
+
+            if isinstance(req, YieldCpu):
+                if thread.state is ThreadState.RUNNING:
+                    thread.resume_advance = True
+                    self._off_cpu_and_dispatch(thread, voluntary=True)
+                    self._make_ready(thread)
+                    return
+                continue
+
+            raise TypeError(f"unknown syscall request {req!r} from {thread!r}")
+
+    def _finish(self, thread: Thread) -> None:
+        if thread.state is ThreadState.RUNNING:
+            self._off_cpu_and_dispatch(thread, voluntary=True)
+        if thread.wake_ev is not None:
+            thread.wake_ev.cancel()
+            thread.wake_ev = None
+        thread.state = ThreadState.FINISHED
+        thread.gen = None
+        if thread.on_finish is not None:
+            thread.on_finish(thread)
+
+    def _timer_wake(self, thread: Thread) -> None:
+        thread.wake_ev = None
+        if thread.state is ThreadState.SLEEPING:
+            self._advance(thread, None)
+
+    # ==================================================================
+    # Ready queues and placement
+    # ==================================================================
+    def _queue_for(self, thread: Thread) -> RunQueue:
+        if thread.use_global_queue and self.config.daemons_global_queue:
+            return self.global_queue
+        return self.local_queues[thread.affinity_cpu]
+
+    def _make_ready(self, thread: Thread) -> None:
+        thread.state = ThreadState.READY
+        thread.stats.last_ready_at = self.sim.now
+        self._queue_for(thread).push(thread)
+        self._consider_placement(thread)
+
+    def _find_idle_cpu(self) -> Optional[int]:
+        for cpu in self.cpus:
+            if cpu.idle:
+                return cpu.index
+        return None
+
+    def _consider_placement(self, thread: Thread) -> None:
+        """React to *thread* becoming ready / better: dispatch or preempt.
+
+        Dispatching a freed CPU may pick a *different* (better or
+        earlier-queued equal) thread; when that happens this thread is
+        still READY and must fall through to the preemption/rotation
+        arming below, or it would wait unbounded (two co-scheduled jobs
+        timesharing a CPU hit exactly this).
+        """
+        if thread.use_global_queue and self.config.daemons_global_queue:
+            idle = self._find_idle_cpu()
+            if idle is not None:
+                self._dispatch(idle)
+                if thread.state is not ThreadState.READY:
+                    return
+            # Preempt the CPU running the worst-priority occupant.
+            worst_cpu, worst_prio = None, -1
+            for cpu in self.cpus:
+                if cpu.thread is not None and cpu.thread.priority > worst_prio:
+                    worst_cpu, worst_prio = cpu.index, cpu.thread.priority
+            if worst_cpu is None:
+                return
+            if thread.priority < worst_prio:
+                self._request_preempt(worst_cpu)
+            elif thread.priority == worst_prio:
+                self._schedule_check(worst_cpu)
+            return
+
+        home = thread.affinity_cpu
+        if self.cpus[home].idle:
+            self._dispatch(home)
+            if thread.state is not ThreadState.READY:
+                return
+        if thread.allow_steal and self.config.steal_enabled:
+            idle = self._find_idle_cpu()
+            if idle is not None:
+                self._dispatch(idle)
+                if thread.state is not ThreadState.READY:
+                    return
+        running = self.cpus[home].thread
+        if running is None:
+            return
+        if thread.priority < running.priority:
+            if thread.hardware:
+                # Device interrupt: asserted directly at the target CPU,
+                # no dispatcher noticing latency.
+                self._check_cpu(home)
+            else:
+                self._request_preempt(home)
+        elif thread.priority == running.priority:
+            self._schedule_check(home)
+
+    def _best_waiting_priority(self, cpu_idx: int) -> Optional[int]:
+        lp = self.local_queues[cpu_idx].best_priority()
+        gp = self.global_queue.best_priority()
+        if lp is None:
+            return gp
+        if gp is None:
+            return lp
+        return min(lp, gp)
+
+    def _pick_best(self, cpu_idx: int) -> Optional[Thread]:
+        """Choose the next occupant for *cpu_idx* (local beats global on ties)."""
+        lq = self.local_queues[cpu_idx]
+        gq = self.global_queue
+        lp = lq.best_priority()
+        gp = gq.best_priority()
+        if lp is not None and (gp is None or lp <= gp):
+            return lq.pop()
+        if gp is not None:
+            return gq.pop()
+        if self.config.steal_enabled:
+            # Idle with nothing queued here: steal the best migratable
+            # thread from a sibling queue.
+            best_q, best_p = None, None
+            for i, q in enumerate(self.local_queues):
+                if i == cpu_idx or not q:
+                    continue
+                p = q.best_stealable_priority()
+                if p is not None and (best_p is None or p < best_p):
+                    best_q, best_p = q, p
+            if best_q is not None:
+                return best_q.pop_stealable()
+        return None
+
+    # ==================================================================
+    # Dispatch / placement
+    # ==================================================================
+    def _dispatch(self, cpu_idx: int) -> None:
+        cpu = self.cpus[cpu_idx]
+        if cpu.thread is not None:
+            return
+        thread = self._pick_best(cpu_idx)
+        if thread is None:
+            return
+        self._place(cpu, thread)
+
+    def _place(self, cpu: CpuState, thread: Thread) -> None:
+        now = self.sim.now
+        thread.state = ThreadState.RUNNING
+        thread.cpu = cpu.index
+        cpu.thread = thread
+        cpu.run_began = now
+        cpu.last_switch = now
+        thread.stats.dispatches += 1
+        thread.stats.ready_wait_us += now - thread.stats.last_ready_at
+        thread.cs_due = self.config.context_switch_us
+        if (
+            self.config.cache_refill_us > 0.0
+            and cpu.last_tid is not None
+            and cpu.last_tid != thread.tid
+        ):
+            # Someone else's working set evicted ours: pay the refill.
+            thread.cs_due += self.config.cache_refill_us
+        cpu.last_tid = thread.tid
+
+        if thread.resume_advance:
+            # Generator continuation (YieldCpu done, or spin satisfied while
+            # off-CPU).  Deferred through the event queue so deep chains of
+            # zero-time re-dispatches can't recurse.  The flag stays set
+            # until the resume actually runs, so a same-timestamp preemption
+            # and re-dispatch cannot lose (or double-drive) the
+            # continuation; stale resume events no-op on the cleared flag.
+            thread.run_start = now
+            thread.run_work = 0.0
+            self.sim.schedule(0.0, self._resume_on_cpu, thread, priority=EventPriority.KERNEL)
+        elif thread.spinning is not None:
+            thread.run_start = now
+            thread.run_work = 0.0
+        else:
+            self._schedule_completion(thread)
+
+    def _resume_on_cpu(self, thread: Thread) -> None:
+        # Only fire while the thread still holds a CPU *and* the
+        # continuation is still pending; otherwise the flag survives and the
+        # next _place schedules a fresh resume.
+        if thread.state is ThreadState.RUNNING and thread.resume_advance:
+            thread.resume_advance = False
+            value, thread.spin_value = thread.spin_value, None
+            self._advance(thread, value)
+
+    def _schedule_completion(self, thread: Thread) -> None:
+        now = self.sim.now
+        work = thread.work_remaining + thread.cs_due
+        thread.cs_due = 0.0
+        thread.run_start = now
+        thread.run_work = work
+        t_done = self.ticks.inflate(thread.cpu, now, work)
+        thread.completion_ev = self.sim.schedule_at(
+            t_done, self._on_complete, thread, priority=EventPriority.KERNEL
+        )
+
+    def _on_complete(self, thread: Thread) -> None:
+        thread.completion_ev = None
+        thread.stats.cpu_time_us += thread.run_work
+        thread.work_remaining = 0.0
+        thread.run_work = 0.0
+        self._advance(thread, None)
+
+    def _off_cpu_and_dispatch(self, thread: Thread, voluntary: bool) -> None:
+        """Release *thread*'s CPU and refill it."""
+        cpu_idx = self._off_cpu(thread, voluntary)
+        self._dispatch(cpu_idx)
+
+    def _off_cpu(self, thread: Thread, voluntary: bool) -> int:
+        cpu_idx = thread.cpu
+        cpu = self.cpus[cpu_idx]
+        now = self.sim.now
+        if self.trace is not None:
+            self.trace.record_interval(self.node_id, cpu_idx, thread, cpu.run_began, now)
+        cpu.busy_us += now - cpu.run_began
+        if thread.completion_ev is not None:
+            thread.completion_ev.cancel()
+            thread.completion_ev = None
+        if thread.spinning is not None:
+            thread.stats.cpu_time_us += now - cpu.run_began
+        if voluntary:
+            thread.stats.voluntary_switches += 1
+        cpu.thread = None
+        thread.cpu = None
+        return cpu_idx
+
+    # ==================================================================
+    # Preemption machinery
+    # ==================================================================
+    def _request_preempt(self, cpu_idx: int) -> None:
+        """A better-priority thread waits for a busy CPU: get it noticed."""
+        if self.config.realtime_scheduling:
+            if self.config.fix_multi_ipi or self._ipis_inflight == 0:
+                self._send_ipi(cpu_idx)
+                return
+            self.ipis_suppressed += 1
+        self._schedule_check(cpu_idx)
+
+    def _send_ipi(self, cpu_idx: int) -> None:
+        if self.config.fix_multi_ipi or self._ipis_inflight == 0:
+            self._ipis_inflight += 1
+            self.ipis_sent += 1
+            self.sim.schedule(
+                self.config.ipi_latency_us,
+                self._ipi_arrive,
+                cpu_idx,
+                priority=EventPriority.INTERRUPT,
+            )
+        else:
+            self.ipis_suppressed += 1
+            self._schedule_check(cpu_idx)
+
+    def _ipi_arrive(self, cpu_idx: int) -> None:
+        self._ipis_inflight -= 1
+        cpu = self.cpus[cpu_idx]
+        # The interrupted context pays the handler cost.
+        th = cpu.thread
+        if th is not None and th.completion_ev is not None:
+            th.completion_ev.cancel()
+            th.run_work += self.config.ipi_cost_us
+            t_done = self.ticks.inflate(cpu_idx, th.run_start, th.run_work)
+            th.completion_ev = self.sim.schedule_at(
+                max(t_done, self.sim.now), self._on_complete, th, priority=EventPriority.KERNEL
+            )
+        self._check_cpu(cpu_idx)
+
+    def _schedule_check(self, cpu_idx: int) -> None:
+        """Arrange for *cpu_idx* to notice pending work at its next tick.
+
+        If we are already inside this CPU's tick processing (quantised
+        wakeups fire exactly on boundaries), the check is immediate — the
+        readying operation happened on the noticing CPU.
+        """
+        cpu = self.cpus[cpu_idx]
+        if self.ticks.is_boundary(cpu_idx, self.sim.now):
+            self._check_cpu(cpu_idx)
+            return
+        if cpu.check_ev is not None and cpu.check_ev.active:
+            return
+        cpu.check_ev = self.sim.schedule_at(
+            self.ticks.next_boundary(cpu_idx, self.sim.now),
+            self._tick_check,
+            cpu_idx,
+            priority=EventPriority.INTERRUPT,
+        )
+
+    def _tick_check(self, cpu_idx: int) -> None:
+        self.cpus[cpu_idx].check_ev = None
+        self._check_cpu(cpu_idx)
+
+    def _check_cpu(self, cpu_idx: int) -> None:
+        """Preemption point: compare the occupant against the best waiter."""
+        cpu = self.cpus[cpu_idx]
+        if cpu.thread is None:
+            self._dispatch(cpu_idx)
+            return
+        best = self._best_waiting_priority(cpu_idx)
+        if best is None:
+            return
+        running = cpu.thread
+        if best < running.priority:
+            self._preempt(cpu_idx)
+        elif best == running.priority:
+            # Round-robin among equals at the preemption point — but only
+            # once the incumbent has consumed a timeslice (one base tick),
+            # as AIX's per-tick priority ageing effectively does.  If not
+            # yet, re-arm for the next boundary so the waiter still gets
+            # its turn.
+            if self.sim.now - cpu.last_switch >= self.config.tick_period_us - 1e-6:
+                self._preempt(cpu_idx)
+            elif cpu.check_ev is None or not cpu.check_ev.active:
+                cpu.check_ev = self.sim.schedule_at(
+                    self.ticks.next_boundary(cpu_idx, self.sim.now),
+                    self._tick_check,
+                    cpu_idx,
+                    priority=EventPriority.INTERRUPT,
+                )
+
+    def _preempt(self, cpu_idx: int) -> None:
+        cpu = self.cpus[cpu_idx]
+        thread = cpu.thread
+        now = self.sim.now
+        if thread.spinning is None:
+            done = self.ticks.consumed_work(cpu_idx, thread.run_start, now, thread.run_work)
+            thread.stats.cpu_time_us += done
+            remaining = thread.run_work - done
+        else:
+            remaining = 0.0
+        thread.stats.preemptions += 1
+        self._off_cpu(thread, voluntary=False)
+        thread.run_work = 0.0
+        thread.work_remaining = remaining
+        self._make_ready(thread)
+        self._dispatch(cpu_idx)

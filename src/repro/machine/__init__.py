@@ -1,0 +1,15 @@
+"""Cluster hardware assembly.
+
+:class:`~repro.machine.node.Node` wires one SMP node together (CPUs +
+scheduler + tick schedule + time-of-day clock offset);
+:class:`~repro.machine.cluster.Cluster` builds the whole machine from a
+:class:`~repro.config.ClusterConfig` — simulator, switch clock, fabric,
+trace recorder, and all nodes — and provides rank placement and local/global
+time conversion.  Higher layers (daemons, MPI, co-scheduler) install
+themselves onto a built cluster.
+"""
+
+from repro.machine.node import Node
+from repro.machine.cluster import Cluster, Placement
+
+__all__ = ["Node", "Cluster", "Placement"]

@@ -1,0 +1,118 @@
+"""Whole-cluster assembly and rank placement."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.config import ClusterConfig
+from repro.machine.node import Node
+from repro.net.fabric import Fabric
+from repro.net.switch import SwitchClock
+from repro.rng import StreamFactory
+from repro.sim.core import Simulator
+from repro.trace.recorder import TraceRecorder
+
+__all__ = ["Cluster", "Placement"]
+
+
+@dataclass(frozen=True)
+class Placement:
+    """Where each MPI rank lives: ``(node, cpu)`` per rank.
+
+    Standard SPMD block placement: rank *r* goes to node ``r // tpn``, CPU
+    ``r % tpn``.  With ``tasks_per_node < cpus_per_node`` the highest CPUs
+    of each node stay free — the "leave one CPU idle for the daemons"
+    mitigation the paper discusses (and improves upon).
+    """
+
+    n_ranks: int
+    tasks_per_node: int
+
+    def node_of(self, rank: int) -> int:
+        """Node index hosting *rank*."""
+        return rank // self.tasks_per_node
+
+    def cpu_of(self, rank: int) -> int:
+        """CPU index (within its node) that *rank* is pinned to."""
+        return rank % self.tasks_per_node
+
+    @property
+    def n_nodes(self) -> int:
+        return -(-self.n_ranks // self.tasks_per_node)
+
+
+class Cluster:
+    """A built machine: simulator + switch + fabric + nodes.
+
+    Construction applies the co-scheduler's startup clock synchronisation
+    when configured (paper §4: the daemon reads the switch clock register
+    and slews the node's time-of-day low-order bits to match), because tick
+    alignment to global time depends on the post-sync offsets.
+    """
+
+    def __init__(self, config: ClusterConfig, trace: Optional[TraceRecorder] = None) -> None:
+        self.config = config
+        self.sim = Simulator()
+        self.rngf = StreamFactory(config.seed)
+        self.trace = trace if trace is not None else TraceRecorder(enabled=False)
+        self.switch = SwitchClock(self.rngf.stream("switch.clock"))
+        self.fabric = Fabric(self.sim, config.network)
+
+        clock_rng = self.rngf.stream("machine.clock")
+        phase_rng = self.rngf.stream("machine.tickphase")
+        sync = config.cosched.enabled and config.cosched.sync_clock
+        self.nodes: list[Node] = []
+        for i in range(config.machine.n_nodes):
+            raw_offset = float(
+                clock_rng.uniform(
+                    -config.machine.max_clock_offset_us, config.machine.max_clock_offset_us
+                )
+            )
+            if sync:
+                # Startup sync: the node slews its clock to the switch
+                # register; the residual is the register read error.
+                offset = self.switch.read(0.0)
+            else:
+                offset = raw_offset
+            tick_phase = float(phase_rng.uniform(0.0, config.kernel.physical_tick_period_us))
+            self.nodes.append(
+                Node(
+                    self.sim,
+                    node_id=i,
+                    n_cpus=config.machine.cpus_per_node,
+                    kernel=config.kernel,
+                    clock_offset_us=offset,
+                    tick_phase_us=tick_phase,
+                    trace=self.trace,
+                )
+            )
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self.nodes)
+
+    @property
+    def cpus_per_node(self) -> int:
+        return self.config.machine.cpus_per_node
+
+    @property
+    def total_cpus(self) -> int:
+        return self.n_nodes * self.cpus_per_node
+
+    def place(self, n_ranks: int, tasks_per_node: Optional[int] = None) -> Placement:
+        """Block placement of *n_ranks* MPI tasks onto the cluster."""
+        tpn = tasks_per_node if tasks_per_node is not None else self.cpus_per_node
+        if tpn < 1 or tpn > self.cpus_per_node:
+            raise ValueError(f"tasks_per_node {tpn} out of range 1..{self.cpus_per_node}")
+        placement = Placement(n_ranks, tpn)
+        if placement.n_nodes > self.n_nodes:
+            raise ValueError(
+                f"{n_ranks} ranks at {tpn}/node needs {placement.n_nodes} nodes; "
+                f"cluster has {self.n_nodes}"
+            )
+        return placement
+
+    def run_for(self, duration_us: float, max_events: Optional[int] = None) -> int:
+        """Advance the whole cluster by *duration_us*."""
+        return self.sim.run_until(self.sim.now + duration_us, max_events=max_events)

@@ -1,0 +1,61 @@
+"""One SMP node: CPUs, dispatcher, tick schedule, local clock."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.config import KernelConfig
+from repro.kernel.scheduler import NodeScheduler
+from repro.kernel.ticks import TickSchedule
+from repro.sim.core import Simulator
+
+__all__ = ["Node"]
+
+
+class Node:
+    """A 16-way (configurable) SMP node.
+
+    Parameters
+    ----------
+    clock_offset_us:
+        This node's time-of-day offset from global simulation time
+        (``local = global + offset``).  Zero-ish after switch-clock
+        synchronisation; up to ``MachineConfig.max_clock_offset_us``
+        otherwise.
+    tick_phase_us:
+        Base phase of this node's timer ticks, drawn per node unless the
+        kernel aligns ticks to global time (in which case the tick engine
+        derives the phase from the clock offset).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        node_id: int,
+        n_cpus: int,
+        kernel: KernelConfig,
+        clock_offset_us: float = 0.0,
+        tick_phase_us: float = 0.0,
+        trace=None,
+    ) -> None:
+        self.id = node_id
+        self.n_cpus = n_cpus
+        self.clock_offset_us = clock_offset_us
+        self.ticks = TickSchedule(
+            kernel,
+            n_cpus,
+            node_phase_us=tick_phase_us,
+            clock_offset_us=clock_offset_us,
+        )
+        self.scheduler = NodeScheduler(sim, node_id, n_cpus, kernel, self.ticks, trace=trace)
+
+    def local_time(self, global_now: float) -> float:
+        """This node's time-of-day reading at global time *global_now*."""
+        return global_now + self.clock_offset_us
+
+    def global_time(self, local_time: float) -> float:
+        """Global instant at which this node's clock reads *local_time*."""
+        return local_time - self.clock_offset_us
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Node {self.id} cpus={self.n_cpus} offset={self.clock_offset_us:.1f}us>"

@@ -1,0 +1,37 @@
+"""Named presets for the paper's evaluation platforms.
+
+"LLNL conducted tests on two machines: 'ASCI White,' a classified system
+that has a total of 512 nodes, all 16-way SMPs based on the 375 MHz
+Power3 processor; and 'Frost' which has a total of 68 nodes … The AWE
+machine, 'Blue Oak', has a total of 128 nodes, of which 120 are 16-way
+Nighthawk II compute nodes; thus the maximum number of Power3-II
+processors available to run the tests is 1920."
+"""
+
+from __future__ import annotations
+
+from repro.config import MachineConfig
+
+__all__ = ["ASCI_WHITE", "FROST", "BLUE_OAK", "machine_preset", "PRESETS"]
+
+#: ASCI White (LLNL): 512 × 16-way Power3.
+ASCI_WHITE = MachineConfig(n_nodes=512, cpus_per_node=16)
+#: Frost (LLNL): 68 × 16-way Power3.
+FROST = MachineConfig(n_nodes=68, cpus_per_node=16)
+#: Blue Oak (AWE): 120 × 16-way Nighthawk II compute nodes (1920 CPUs).
+BLUE_OAK = MachineConfig(n_nodes=120, cpus_per_node=16)
+
+PRESETS: dict[str, MachineConfig] = {
+    "asci-white": ASCI_WHITE,
+    "frost": FROST,
+    "blue-oak": BLUE_OAK,
+}
+
+
+def machine_preset(name: str) -> MachineConfig:
+    """Look up a paper platform by name (case-insensitive)."""
+    key = name.strip().lower().replace("_", "-").replace(" ", "-")
+    try:
+        return PRESETS[key]
+    except KeyError:
+        raise KeyError(f"unknown machine {name!r}; presets: {sorted(PRESETS)}") from None

@@ -1,0 +1,21 @@
+"""MPI runtime model (IBM Parallel Environment class).
+
+Ranks are kernel threads whose bodies express communication through the
+world/API layer; every send/receive charges CPU overhead as schedulable
+work, and a waiting receive **spins on its CPU** by default (IBM MPI's
+``MP_WAIT_MODE=poll``), so "waiting" tasks still occupy processors and are
+exposed to preemption by daemons — the substrate of the paper's pathology.
+
+* :mod:`repro.mpi.world` — mailboxes, delivery, the per-rank API facade,
+  and job construction (including the MPI timer "progress engine" threads,
+  §5.3);
+* :mod:`repro.mpi.collectives` — recursive-doubling and binomial-tree
+  Allreduce, dissemination Barrier, ring Allgather, binomial Bcast; each
+  is a generator composed of point-to-point operations, so collective
+  latency under interference is emergent.
+"""
+
+from repro.mpi.world import MpiApi, MpiJob, MpiWorld
+from repro.mpi.messages import Message
+
+__all__ = ["MpiWorld", "MpiApi", "MpiJob", "Message"]

@@ -1,0 +1,28 @@
+"""Message envelope for the MPI model."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Hashable
+
+__all__ = ["Message"]
+
+
+@dataclass(frozen=True)
+class Message:
+    """One point-to-point message.
+
+    ``tag`` is any hashable; collectives use ``(operation id, phase)``
+    tuples so that concurrent operations and rounds can never be confused
+    (the simulator equivalent of MPI's reserved collective tag space).
+    """
+
+    src: int
+    dst: int
+    tag: Hashable
+    payload: Any
+    nbytes: int
+
+    @property
+    def key(self) -> tuple:
+        return (self.dst, self.src, self.tag)

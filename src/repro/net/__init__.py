@@ -1,0 +1,20 @@
+"""Interconnect model: LogP-style fabric plus the SP switch global clock.
+
+The paper's platform interconnect matters to the reproduction in exactly
+two ways, and this package models both and nothing more:
+
+* **Message timing** (:mod:`repro.net.fabric`): point-to-point deliveries
+  with wire latency + per-byte cost, cheaper within a node (shared
+  memory).  Send/receive *CPU overheads* are charged by the MPI layer as
+  Compute requests, because that CPU time is exactly what scheduling
+  interference perturbs.
+* **Global time** (:mod:`repro.net.switch`): the SP switch exposes a
+  globally synchronised clock register readable from user space; the
+  co-scheduler uses it to align the low-order bits of each node's
+  time-of-day clock (paper §4).
+"""
+
+from repro.net.fabric import Fabric, MessageStats
+from repro.net.switch import SwitchClock
+
+__all__ = ["Fabric", "MessageStats", "SwitchClock"]

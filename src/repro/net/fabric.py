@@ -1,0 +1,67 @@
+"""Point-to-point message delivery.
+
+A flat-switch LogP-flavoured model: wire time is ``latency + bytes × G``
+(node-internal transfers use a lower shared-memory latency).  The fabric
+delivers payloads by scheduling a callback at the arrival time; what the
+*receiver* does — wake a blocked thread or satisfy a spin — is the MPI
+layer's business.
+
+Sender/receiver CPU overheads (LogP *o*) are deliberately **not** included
+here: the MPI layer issues them as Compute requests so that they contend
+for CPUs like any other work.  That is the paper's whole subject — the
+"overhead" of communication is mostly CPU time exposed to scheduling
+interference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.config import NetworkConfig
+from repro.sim.core import EventPriority, Simulator
+
+__all__ = ["Fabric", "MessageStats"]
+
+
+@dataclass
+class MessageStats:
+    messages: int = 0
+    bytes: int = 0
+    intra_node: int = 0
+
+
+class Fabric:
+    """Schedules message arrivals on the shared simulator."""
+
+    def __init__(self, sim: Simulator, config: NetworkConfig) -> None:
+        self.sim = sim
+        self.config = config
+        self.stats = MessageStats()
+
+    def transmit(
+        self,
+        src_node: int,
+        dst_node: int,
+        nbytes: int,
+        payload: Any,
+        on_arrive: Callable[[Any], None],
+    ) -> float:
+        """Launch a message; returns its arrival time.
+
+        ``on_arrive(payload)`` fires at the arrival instant with
+        message-delivery event priority (before same-instant kernel work,
+        after interrupts), modelling the adapter raising completion ahead
+        of dispatcher decisions.
+        """
+        if nbytes < 0:
+            raise ValueError("nbytes must be >= 0")
+        same = src_node == dst_node
+        wire = self.config.p2p_time(nbytes, same_node=same)
+        self.stats.messages += 1
+        self.stats.bytes += nbytes
+        if same:
+            self.stats.intra_node += 1
+        arrival = self.sim.now + wire
+        self.sim.schedule_at(arrival, on_arrive, payload, priority=EventPriority.MESSAGE)
+        return arrival

@@ -1,0 +1,41 @@
+"""The switch global clock register.
+
+On the IBM SP, "the switch provides a globally synchronized time that is
+available by reading a register on the switch adapter".  In the simulator,
+global simulation time *is* that reference; the register read returns it
+with a small, per-read jitter modelling bus/adapter sampling error.  Node
+time-of-day clocks, by contrast, carry per-node offsets — the gap the
+co-scheduler's startup synchronisation closes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["SwitchClock"]
+
+
+class SwitchClock:
+    """Globally synchronised clock source with bounded read error.
+
+    Parameters
+    ----------
+    read_error_us:
+        Half-width of the uniform error on each register read.  A couple of
+        microseconds models adapter sampling; it is what limits how tightly
+        nodes can align after synchronisation.
+    """
+
+    def __init__(self, rng: np.random.Generator, read_error_us: float = 2.0) -> None:
+        if read_error_us < 0:
+            raise ValueError("read_error_us must be >= 0")
+        self._rng = rng
+        self.read_error_us = read_error_us
+        self.reads = 0
+
+    def read(self, global_now: float) -> float:
+        """One register read: global time plus bounded sampling error."""
+        self.reads += 1
+        if self.read_error_us == 0.0:
+            return global_now
+        return global_now + float(self._rng.uniform(-self.read_error_us, self.read_error_us))

@@ -1,0 +1,125 @@
+"""Result serialisation: experiment outputs ↔ JSON.
+
+Experiment runners return plain dataclasses (possibly holding numpy
+arrays).  This module round-trips them through JSON so sweeps can be
+archived next to EXPERIMENTS.md, diffed across calibrations, or re-plotted
+without re-simulating.
+
+The format is deliberately simple: ``{"type": <registered name>,
+"fields": {...}}`` with numpy arrays stored as lists and rebuilt on load.
+Only registered result types load back as objects; anything else raises —
+loading should never silently produce a half-typed dict.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Any, Type
+
+import numpy as np
+
+__all__ = ["register_result", "save_result", "load_result", "to_jsonable", "REGISTRY"]
+
+#: name -> dataclass for reconstruction.
+REGISTRY: dict[str, Type] = {}
+
+
+def register_result(cls: Type) -> Type:
+    """Class decorator/registrar making a result dataclass serialisable."""
+    if not dataclasses.is_dataclass(cls):
+        raise TypeError(f"{cls!r} is not a dataclass")
+    REGISTRY[cls.__name__] = cls
+    return cls
+
+
+def to_jsonable(value: Any) -> Any:
+    """Recursively convert dataclasses/arrays/tuples to JSON-native data."""
+    if isinstance(value, np.ndarray):
+        return {"__ndarray__": value.tolist(), "dtype": str(value.dtype)}
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            "type": type(value).__name__,
+            "fields": {
+                f.name: to_jsonable(getattr(value, f.name))
+                for f in dataclasses.fields(value)
+            },
+        }
+    if isinstance(value, dict):
+        return {str(k): to_jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [to_jsonable(v) for v in value]
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    raise TypeError(f"cannot serialise {type(value).__name__}: {value!r}")
+
+
+def _from_jsonable(value: Any) -> Any:
+    if isinstance(value, dict):
+        if "__ndarray__" in value:
+            return np.asarray(value["__ndarray__"], dtype=value.get("dtype", "float64"))
+        if "type" in value and "fields" in value:
+            name = value["type"]
+            cls = REGISTRY.get(name)
+            if cls is None:
+                raise KeyError(
+                    f"unknown result type {name!r}; register it with register_result"
+                )
+            fields = {k: _from_jsonable(v) for k, v in value["fields"].items()}
+            return cls(**fields)
+        return {k: _from_jsonable(v) for k, v in value.items()}
+    if isinstance(value, list):
+        return [_from_jsonable(v) for v in value]
+    return value
+
+
+def save_result(path, result: Any) -> None:
+    """Write a registered result dataclass (or a dict of them) as JSON."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(to_jsonable(result), fh, indent=1)
+
+
+def load_result(path) -> Any:
+    """Load a result written by :func:`save_result`."""
+    with open(path, "r", encoding="utf-8") as fh:
+        return _from_jsonable(json.load(fh))
+
+
+def _register_builtin_results() -> None:
+    """Register the experiment result types shipped with the package."""
+    from repro.experiments.ablation import AblationResult
+    from repro.experiments.ale3d_io import Ale3dIoResult
+    from repro.experiments.common import SweepResult
+    from repro.experiments.extensions import (
+        FineGrainResult,
+        HwCollectivesResult,
+        MisalignmentResult,
+        MultijobResult,
+    )
+    from repro.experiments.fig1 import Fig1Result
+    from repro.experiments.speedup import SpeedupResult
+    from repro.experiments.timer_threads import TimerThreadsResult
+    from repro.experiments.workloads import SensitivityResult, WaitModeResult
+
+    for cls in (
+        SweepResult,
+        Fig1Result,
+        SpeedupResult,
+        TimerThreadsResult,
+        Ale3dIoResult,
+        AblationResult,
+        MultijobResult,
+        HwCollectivesResult,
+        FineGrainResult,
+        MisalignmentResult,
+        WaitModeResult,
+        SensitivityResult,
+    ):
+        register_result(cls)
+
+
+_register_builtin_results()

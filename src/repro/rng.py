@@ -1,0 +1,174 @@
+"""Named, seeded random-number streams.
+
+Every stochastic element of the simulation — daemon service times, cron
+phases, page-fault draws, clock skew — pulls from its own named stream
+derived from a single experiment seed.  This gives two properties the
+experiment harness depends on:
+
+* **Exact reproducibility.**  The same ``(seed, name)`` pair always yields
+  the same sequence, so every figure in EXPERIMENTS.md can be regenerated
+  bit-for-bit.
+* **Variance isolation.**  Adding a new consumer of randomness (say, a new
+  daemon) does not perturb the draws seen by existing consumers, because
+  streams are independent children keyed by name rather than a shared
+  global sequence.
+
+Streams are :class:`numpy.random.Generator` instances created via
+:func:`numpy.random.SeedSequence.spawn`-style keyed derivation.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["StreamFactory", "Distribution", "Constant", "Uniform", "Exponential", "LogNormal"]
+
+
+def _stable_key(name: str) -> int:
+    """Map a stream name to a stable 32-bit integer key.
+
+    Uses CRC32 rather than :func:`hash` because the latter is salted per
+    interpreter run (``PYTHONHASHSEED``) and would destroy reproducibility.
+    """
+    return zlib.crc32(name.encode("utf-8")) & 0xFFFFFFFF
+
+
+class StreamFactory:
+    """Factory for independent named RNG streams derived from one seed.
+
+    >>> f = StreamFactory(seed=42)
+    >>> a = f.stream("daemon.syncd")
+    >>> b = f.stream("daemon.cron")
+    >>> a is f.stream("daemon.syncd")   # streams are cached by name
+    True
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = int(seed)
+        self._streams: dict[str, np.random.Generator] = {}
+
+    def stream(self, name: str) -> np.random.Generator:
+        """Return (creating if needed) the stream for *name*."""
+        gen = self._streams.get(name)
+        if gen is None:
+            ss = np.random.SeedSequence(entropy=self.seed, spawn_key=(_stable_key(name),))
+            gen = np.random.Generator(np.random.PCG64(ss))
+            self._streams[name] = gen
+        return gen
+
+    def fork(self, salt: int) -> "StreamFactory":
+        """Return a new factory whose streams are independent of this one.
+
+        Used for per-repetition seeding inside parameter sweeps: repetition
+        *k* uses ``factory.fork(k)`` so that repetitions differ while the
+        sweep as a whole remains a pure function of the base seed.
+        """
+        return StreamFactory(seed=(self.seed * 1_000_003 + int(salt)) & 0x7FFFFFFF)
+
+
+@dataclass(frozen=True)
+class Distribution:
+    """Base class for serialisable service-time distributions.
+
+    Subclasses implement :meth:`sample`, drawing from a provided generator
+    so the distribution object itself stays immutable and shareable.
+    """
+
+    def sample(self, rng: np.random.Generator) -> float:
+        """Draw one value (µs) using *rng*."""
+        raise NotImplementedError
+
+    def mean(self) -> float:
+        """Analytic mean, used by the vectorised noise model and by tests."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Constant(Distribution):
+    """Degenerate distribution: always *value* (µs)."""
+
+    value: float
+
+    def sample(self, rng: np.random.Generator) -> float:
+        """Return the constant (the generator is unused)."""
+        return self.value
+
+    def mean(self) -> float:
+        """The constant itself."""
+        return self.value
+
+
+@dataclass(frozen=True)
+class Uniform(Distribution):
+    """Uniform distribution on ``[low, high]`` (µs)."""
+
+    low: float
+    high: float
+
+    def __post_init__(self) -> None:
+        if self.high < self.low:
+            raise ValueError(f"Uniform: high ({self.high}) < low ({self.low})")
+
+    def sample(self, rng: np.random.Generator) -> float:
+        """Draw uniformly from [low, high]."""
+        return float(rng.uniform(self.low, self.high))
+
+    def mean(self) -> float:
+        """Midpoint of the interval."""
+        return 0.5 * (self.low + self.high)
+
+
+@dataclass(frozen=True)
+class Exponential(Distribution):
+    """Exponential distribution with the given mean (µs), optionally shifted.
+
+    ``shift`` models a fixed minimum service time below which the daemon
+    never completes (entry/exit overhead).
+    """
+
+    mean_value: float
+    shift: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.mean_value <= 0:
+            raise ValueError("Exponential mean must be positive")
+
+    def sample(self, rng: np.random.Generator) -> float:
+        """Draw shift + Exp(mean_value)."""
+        return self.shift + float(rng.exponential(self.mean_value))
+
+    def mean(self) -> float:
+        """shift + mean_value."""
+        return self.shift + self.mean_value
+
+
+@dataclass(frozen=True)
+class LogNormal(Distribution):
+    """Log-normal distribution parameterised by its actual mean and sigma.
+
+    Daemon service times observed in AIX traces are right-skewed with a hard
+    floor; log-normal captures the occasional multi-millisecond excursions
+    that drive the paper's outliers.
+    """
+
+    mean_value: float
+    sigma: float = 0.5
+
+    _mu: float = field(init=False, repr=False, default=0.0)
+
+    def __post_init__(self) -> None:
+        if self.mean_value <= 0:
+            raise ValueError("LogNormal mean must be positive")
+        # Solve for mu such that E[X] = exp(mu + sigma^2/2) = mean_value.
+        object.__setattr__(self, "_mu", float(np.log(self.mean_value) - 0.5 * self.sigma**2))
+
+    def sample(self, rng: np.random.Generator) -> float:
+        """Draw LogNormal(mu, sigma) with E[X] = mean_value."""
+        return float(rng.lognormal(self._mu, self.sigma))
+
+    def mean(self) -> float:
+        """The targeted E[X] (mean_value)."""
+        return self.mean_value

@@ -1,0 +1,18 @@
+"""Discrete-event simulation core.
+
+A deliberately small, deterministic event engine on which the machine,
+kernel, daemon, network, and MPI layers are built.  Nothing in here knows
+about CPUs or schedulers; it provides exactly three things:
+
+* a simulation clock in canonical microseconds,
+* a priority event queue with stable tie-breaking (time, priority, seq),
+* cancellable event handles.
+
+Determinism is the load-bearing property: two events at the same timestamp
+fire in (priority, insertion-order) order, so a whole-cluster run is a pure
+function of its configuration and seed.
+"""
+
+from repro.sim.core import Event, EventPriority, Simulator, SimulationError
+
+__all__ = ["Event", "EventPriority", "Simulator", "SimulationError"]

@@ -1,0 +1,164 @@
+"""Statistics helpers for experiment reporting.
+
+The paper's methodology is statistical at heart — "each plotted datum is
+the average of at least 3 runs, and each run is the result of thousands of
+Allreduces"; Figure 4 is a sorted-sample study; the text repeatedly
+contrasts *variability* across kernels.  This module centralises the
+summaries the experiment layer reports:
+
+* :func:`summarize` — the five-number-plus profile of a duration sample;
+* :func:`bootstrap_ci` — nonparametric confidence interval on any
+  statistic of a sample (means of heavy-tailed noise distributions need
+  better than ±σ);
+* :func:`variability` — the coefficient-of-variation and tail-weight
+  measures the paper's "extreme variability" claim is about;
+* :func:`slowdown_profile` — per-quantile ratio of two samples (how a
+  treatment reshapes the distribution, not just the mean).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+__all__ = [
+    "SampleSummary",
+    "summarize",
+    "bootstrap_ci",
+    "variability",
+    "Variability",
+    "slowdown_profile",
+]
+
+
+@dataclass(frozen=True)
+class SampleSummary:
+    """Distribution profile of a duration sample (µs)."""
+
+    n: int
+    mean: float
+    std: float
+    minimum: float
+    p25: float
+    median: float
+    p75: float
+    p90: float
+    p99: float
+    maximum: float
+
+    def rows(self) -> list[tuple[str, float]]:
+        """(name, value) pairs in report order."""
+        return [
+            ("min", self.minimum),
+            ("p25", self.p25),
+            ("median", self.median),
+            ("p75", self.p75),
+            ("p90", self.p90),
+            ("p99", self.p99),
+            ("max", self.maximum),
+            ("mean", self.mean),
+        ]
+
+
+def summarize(sample: Sequence[float]) -> SampleSummary:
+    """Profile a sample; raises on empty input (silent NaNs hide bugs)."""
+    x = np.asarray(sample, dtype=float)
+    if x.size == 0:
+        raise ValueError("cannot summarise an empty sample")
+    q = np.percentile(x, [0, 25, 50, 75, 90, 99, 100])
+    return SampleSummary(
+        n=int(x.size),
+        mean=float(x.mean()),
+        std=float(x.std()),
+        minimum=float(q[0]),
+        p25=float(q[1]),
+        median=float(q[2]),
+        p75=float(q[3]),
+        p90=float(q[4]),
+        p99=float(q[5]),
+        maximum=float(q[6]),
+    )
+
+
+def bootstrap_ci(
+    sample: Sequence[float],
+    statistic: Callable[[np.ndarray], float] = np.mean,
+    confidence: float = 0.95,
+    n_resamples: int = 2000,
+    seed: int = 0,
+) -> tuple[float, float]:
+    """Percentile-bootstrap confidence interval for *statistic*.
+
+    Heavy-tailed interference samples (log-normal daemon services, the
+    cron outlier) make normal-theory intervals on the mean badly wrong;
+    the bootstrap stays honest.
+    """
+    x = np.asarray(sample, dtype=float)
+    if x.size < 2:
+        raise ValueError("need at least 2 observations")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError("confidence must be in (0, 1)")
+    rng = np.random.default_rng(seed)
+    idx = rng.integers(0, x.size, size=(n_resamples, x.size))
+    stats = np.asarray([statistic(x[row]) for row in idx])
+    alpha = (1.0 - confidence) / 2.0
+    lo, hi = np.percentile(stats, [100 * alpha, 100 * (1 - alpha)])
+    return float(lo), float(hi)
+
+
+@dataclass(frozen=True)
+class Variability:
+    """The 'extreme variability' measures of Figures 3-5."""
+
+    #: Coefficient of variation (std / mean).
+    cv: float
+    #: Mean / median — >1 indicates a right tail dragging the mean.
+    mean_over_median: float
+    #: Share of total time in the slowest 1% of calls.
+    top1pct_share: float
+
+    @property
+    def is_heavy_tailed(self) -> bool:
+        """Rule of thumb separating Fig-3-like from Fig-5-like samples."""
+        return self.mean_over_median > 1.5 or self.top1pct_share > 0.2
+
+
+def variability(sample: Sequence[float]) -> Variability:
+    """Compute the tail/variability profile of a duration sample."""
+    x = np.asarray(sample, dtype=float)
+    if x.size == 0:
+        raise ValueError("cannot assess an empty sample")
+    mean = float(x.mean())
+    median = float(np.median(x))
+    k = max(1, int(np.ceil(0.01 * x.size)))
+    top = float(np.sort(x)[-k:].sum())
+    total = float(x.sum())
+    return Variability(
+        cv=float(x.std() / mean) if mean > 0 else 0.0,
+        mean_over_median=mean / median if median > 0 else float("inf"),
+        top1pct_share=top / total if total > 0 else 0.0,
+    )
+
+
+def slowdown_profile(
+    baseline: Sequence[float],
+    treated: Sequence[float],
+    quantiles: Sequence[float] = (0.25, 0.5, 0.75, 0.9, 0.99),
+) -> list[tuple[float, float]]:
+    """Per-quantile baseline/treated ratio (>1 = treatment is faster).
+
+    A treatment that only trims the tail shows ratios near 1 at the median
+    and large at p99 — exactly how the co-scheduler reads at low scale.
+    """
+    b = np.asarray(baseline, dtype=float)
+    t = np.asarray(treated, dtype=float)
+    if b.size == 0 or t.size == 0:
+        raise ValueError("both samples must be non-empty")
+    out = []
+    for q in quantiles:
+        bq = float(np.quantile(b, q))
+        tq = float(np.quantile(t, q))
+        out.append((q, bq / tq if tq > 0 else float("inf")))
+    return out

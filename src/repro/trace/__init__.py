@@ -1,0 +1,29 @@
+"""AIX-trace-style event recording and attribution analysis.
+
+The paper's methodology leaned on the AIX ``trace`` facility: record which
+threads ran on which CPUs, bracket regions of interest with application
+marks (their ``aggregate_trace`` wrote a trace record around every 64th
+Allreduce), then attribute slow intervals to the daemons/interrupts that
+consumed CPU inside them.  This package is the simulator-side equivalent:
+
+* :class:`~repro.trace.recorder.TraceRecorder` — run-interval capture
+  (fed by the scheduler) plus user marks;
+* :mod:`repro.trace.analysis` — per-window CPU attribution and outlier
+  explanation, reproducing the paper's Figure 4 narrative.
+"""
+
+from repro.trace.recorder import Mark, RunInterval, TraceRecorder
+from repro.trace.analysis import (
+    attribute_window,
+    explain_outliers,
+    window_breakdown,
+)
+
+__all__ = [
+    "TraceRecorder",
+    "RunInterval",
+    "Mark",
+    "attribute_window",
+    "window_breakdown",
+    "explain_outliers",
+]

@@ -1,0 +1,113 @@
+"""Run-interval recorder.
+
+The scheduler calls :meth:`TraceRecorder.record_interval` whenever a thread
+leaves a CPU, producing a stream of ``(node, cpu, thread identity, t0, t1)``
+records.  Applications add :class:`Mark` records (e.g. Allreduce begin/end
+per rank).  Recording is opt-in per category so large sweeps don't pay the
+memory cost; the Figure 4 experiment records everything on one node, which
+is also how the paper worked around classified-system data limits (trace a
+subset, extract summaries).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+__all__ = ["RunInterval", "Mark", "TraceRecorder"]
+
+
+@dataclass(frozen=True)
+class RunInterval:
+    """One contiguous occupancy of a CPU by a thread."""
+
+    node: int
+    cpu: int
+    tid: int
+    name: str
+    category: str
+    t0: float
+    t1: float
+
+    @property
+    def duration(self) -> float:
+        return self.t1 - self.t0
+
+
+@dataclass(frozen=True)
+class Mark:
+    """An application trace record (the paper's `trace hook` analogue)."""
+
+    name: str
+    node: int
+    rank: int
+    time: float
+    payload: object = None
+
+
+class TraceRecorder:
+    """Collects run intervals and marks.
+
+    Parameters
+    ----------
+    enabled:
+        Master switch; when False every record call is a cheap no-op.
+    nodes:
+        If given, only record intervals on these node ids (the Fig-4 style
+        "trace one node of a large run").
+    categories:
+        If given, only record intervals for threads whose ``category`` is
+        in the set.  Marks are always recorded while enabled.
+    min_duration_us:
+        Drop intervals shorter than this (defaults to keeping everything).
+    """
+
+    def __init__(
+        self,
+        enabled: bool = True,
+        nodes: Optional[Iterable[int]] = None,
+        categories: Optional[Iterable[str]] = None,
+        min_duration_us: float = 0.0,
+    ) -> None:
+        self.enabled = enabled
+        self.node_filter = frozenset(nodes) if nodes is not None else None
+        self.category_filter = frozenset(categories) if categories is not None else None
+        self.min_duration_us = min_duration_us
+        self.intervals: list[RunInterval] = []
+        self.marks: list[Mark] = []
+
+    def record_interval(self, node: int, cpu: int, thread, t0: float, t1: float) -> None:
+        """Record one CPU occupancy (called by the dispatcher; stays cheap)."""
+        if not self.enabled:
+            return
+        if t1 - t0 < self.min_duration_us:
+            return
+        if self.node_filter is not None and node not in self.node_filter:
+            return
+        if self.category_filter is not None and thread.category not in self.category_filter:
+            return
+        self.intervals.append(
+            RunInterval(node, cpu, thread.tid, thread.name, thread.category, t0, t1)
+        )
+
+    def mark(self, name: str, node: int, rank: int, time: float, payload: object = None) -> None:
+        """Write an application trace record."""
+        if not self.enabled:
+            return
+        self.marks.append(Mark(name, node, rank, time, payload))
+
+    def clear(self) -> None:
+        """Drop all recorded intervals and marks."""
+        self.intervals.clear()
+        self.marks.clear()
+
+    def intervals_on(self, node: int) -> list[RunInterval]:
+        """All intervals recorded on *node*."""
+        return [iv for iv in self.intervals if iv.node == node]
+
+    def marks_named(self, name: str) -> list[Mark]:
+        """All marks with the given name."""
+        return [m for m in self.marks if m.name == name]
+
+    def __len__(self) -> int:
+        return len(self.intervals)

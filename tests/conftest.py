@@ -1,0 +1,54 @@
+"""Shared fixtures and helpers for scheduler-level tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import KernelConfig
+from repro.kernel.scheduler import NodeScheduler
+from repro.kernel.thread import Block, Compute, Sleep, SpinWait, YieldCpu
+from repro.kernel.ticks import TickSchedule
+from repro.sim.core import Simulator
+
+
+class SchedulerHarness:
+    """One node's scheduler plus convenience spawn/record helpers."""
+
+    def __init__(self, n_cpus: int = 2, kernel: KernelConfig | None = None, trace=None):
+        self.config = kernel if kernel is not None else KernelConfig(context_switch_us=0.0)
+        self.sim = Simulator()
+        self.ticks = TickSchedule(self.config, n_cpus)
+        self.sched = NodeScheduler(self.sim, 0, n_cpus, self.config, self.ticks, trace=trace)
+        self.log: list[tuple[float, str]] = []
+
+    def mark(self, label: str) -> None:
+        self.log.append((self.sim.now, label))
+
+    def worker(self, label: str, bursts, record=True):
+        """Body computing each burst, logging completion times."""
+
+        def body():
+            for i, b in enumerate(bursts):
+                yield Compute(b)
+                if record:
+                    self.mark(f"{label}.{i}")
+
+        return body()
+
+    def spawn(self, body, name="t", priority=60, cpu=0, **kw):
+        return self.sched.spawn(body, name=name, priority=priority, affinity_cpu=cpu, **kw)
+
+    def run(self, until: float):
+        self.sim.run_until(until, max_events=200_000)
+
+    def times(self, prefix: str) -> list[float]:
+        return [t for t, label in self.log if label.startswith(prefix)]
+
+
+@pytest.fixture
+def harness():
+    return SchedulerHarness()
+
+
+def make_harness(**kw) -> SchedulerHarness:
+    return SchedulerHarness(**kw)

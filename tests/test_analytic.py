@@ -1,0 +1,231 @@
+"""The vectorised model: schedule structure, noise injection, fits."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analytic.fits import compare_fits, fit_linear, fit_log
+from repro.analytic.model import AllreduceSeriesModel
+from repro.analytic.noise import NoiseInjector, SPARE_ABSORPTION
+from repro.config import (
+    ClusterConfig,
+    CoschedConfig,
+    KernelConfig,
+    MachineConfig,
+    MpiConfig,
+    NoiseConfig,
+)
+from repro.daemons.catalog import standard_noise
+from repro.experiments.common import PROTO16, VANILLA16, make_config
+
+
+def quiet_config(n_ranks, tpn=16, **kw):
+    base = dict(
+        machine=MachineConfig(n_nodes=-(-n_ranks // tpn), cpus_per_node=16),
+        mpi=MpiConfig.with_long_polling(),
+        noise=NoiseConfig(),
+        kernel=KernelConfig(tick_cost_us=0.0),
+    )
+    base.update(kw)
+    return ClusterConfig(**base)
+
+
+class TestScheduleStructure:
+    @pytest.mark.parametrize("n", [2, 3, 4, 5, 8, 13, 16, 100])
+    def test_round_count_is_log2_pof2(self, n):
+        m = AllreduceSeriesModel(quiet_config(n), n, 16)
+        pof2 = 1 << (n.bit_length() - 1)
+        assert m.pof2 == pof2
+        assert len(m.rounds) == pof2.bit_length() - 1
+        assert m.rem == n - pof2
+
+    def test_partner_arrays_are_involutions(self):
+        m = AllreduceSeriesModel(quiet_config(13), 13, 16)
+        for partner in m.rounds:
+            for i in range(13):
+                p = partner[i]
+                if p >= 0:
+                    assert partner[p] == i  # symmetric exchange
+
+    def test_folded_evens_idle_in_rd_rounds(self):
+        m = AllreduceSeriesModel(quiet_config(13), 13, 16)
+        # rem = 5: ranks 0,2,4,6,8 fold out.
+        for partner in m.rounds:
+            for r in (0, 2, 4, 6, 8):
+                assert partner[r] == -1
+
+    def test_requires_two_ranks(self):
+        with pytest.raises(ValueError):
+            AllreduceSeriesModel(quiet_config(2), 1, 16)
+
+
+class TestZeroNoiseBaseline:
+    def test_latency_is_logarithmic(self):
+        """Without noise, mean time grows with log2(N), not N."""
+        means = []
+        ns = [64, 256, 1024]
+        for n in ns:
+            m = AllreduceSeriesModel(quiet_config(n), n, 16, seed=1)
+            means.append(m.run_series(50).mean_us)
+        lin, log, winner = compare_fits(ns, means)
+        assert winner == "log"
+
+    def test_zero_noise_is_deterministic_shape(self):
+        cfg = quiet_config(64)
+        a = AllreduceSeriesModel(cfg, 64, 16, seed=1).run_series(20)
+        b = AllreduceSeriesModel(cfg, 64, 16, seed=2).run_series(20)
+        assert a.mean_us == pytest.approx(b.mean_us, rel=1e-9)
+        assert a.std_us == pytest.approx(0.0, abs=1e-6)
+
+    def test_magnitude_near_paper_model(self):
+        """~10 rounds x ~35 us ≈ 350 us at 944 ranks (paper's yardstick)."""
+        cfg = quiet_config(944)
+        res = AllreduceSeriesModel(cfg, 944, 16, seed=0).run_series(10)
+        assert 150 <= res.mean_us <= 600
+
+
+class TestNoiseInjector:
+    def test_spare_cpu_thins_daemon_rate(self):
+        cfg = make_config(VANILLA16, 64, seed=0)
+        inj16 = NoiseInjector(cfg, 64, 16, np.random.default_rng(0))
+        inj15 = NoiseInjector(cfg, 60, 15, np.random.default_rng(0))
+        d16 = {s.name: s for s in inj16.sources}
+        d15 = {s.name: s for s in inj15.sources}
+        assert not d16["mld"].absorbed_by_spare
+        assert d15["mld"].absorbed_by_spare
+        assert 0.0 < SPARE_ABSORPTION < 1.0
+
+    def test_timer_thread_source_present_unless_long_polling(self):
+        cfg = make_config(VANILLA16, 64, seed=0)
+        inj = NoiseInjector(cfg, 64, 16, np.random.default_rng(0))
+        names = {s.name for s in inj.sources}
+        assert "mpi_timer" in names
+        cfg2 = cfg.replace(mpi=MpiConfig.with_long_polling())
+        inj2 = NoiseInjector(cfg2, 64, 16, np.random.default_rng(0))
+        timer = [s for s in inj2.sources if s.name == "mpi_timer"][0]
+        assert timer.rate_per_us < 1e-7  # 400 s period
+
+    def test_favored_window_silences_deferrable(self):
+        cfg = make_config(PROTO16, 64, seed=0)
+        inj = NoiseInjector(cfg, 64, 16, np.random.default_rng(0))
+        inj.force_window = "favored"
+        totals = sum(inj.sample_round(0.0, 1e6).sum() for _ in range(5))
+        inj.force_window = "unfavored"
+        totals_unf = sum(inj.sample_round(0.0, 1e6).sum() for _ in range(5))
+        assert totals < totals_unf
+
+    def test_interrupts_hit_even_in_favored_window(self):
+        cfg = make_config(PROTO16, 64, seed=0)
+        inj = NoiseInjector(cfg, 64, 16, np.random.default_rng(1))
+        inj.force_window = "favored"
+        total = sum(inj.sample_round(0.0, 1e6).sum() for _ in range(10))
+        assert total > 0.0  # caddpin/phxentdd are undeferrable
+
+    def test_window_stall_includes_notice_latency(self):
+        proto = make_config(PROTO16, 64, seed=0)
+        inj = NoiseInjector(proto, 64, 16, np.random.default_rng(0))
+        assert np.all(inj.window_stall >= proto.kernel.ipi_latency_us)
+        # Without the RT fixes the notice penalty is half a tick.
+        novo = proto.replace(
+            kernel=proto.kernel.with_options(fix_reverse_preemption=False)
+        )
+        inj2 = NoiseInjector(novo, 64, 16, np.random.default_rng(0))
+        assert inj2.window_stall.min() > inj.window_stall.min()
+
+    def test_cron_hits_land_on_grid(self):
+        from repro.daemons.catalog import cron_health_check
+
+        noise = NoiseConfig(daemons=(cron_health_check(period_us=1e6, phase_us=5e5),))
+        cfg = make_config(VANILLA16, 32, seed=0, noise=noise)
+        inj = NoiseInjector(cfg, 32, 16, np.random.default_rng(0))
+        assert inj.cron_hits(0.0, 4e5).sum() == 0.0
+        hit = inj.cron_hits(4e5, 6e5)
+        assert hit.sum() > 0
+        # One victim per node.
+        assert (hit > 0).sum() == 2
+
+
+class TestNoisyScaling:
+    def test_noise_turns_scaling_linear(self):
+        from repro.experiments.common import allreduce_sweep
+
+        sweep = allreduce_sweep(
+            VANILLA16, proc_counts=(128, 256, 512, 944, 1360, 1728),
+            n_calls=200, n_seeds=2,
+        )
+        lin, log, winner = compare_fits(sweep.proc_counts, sweep.mean_us)
+        assert winner == "linear"
+        assert lin.slope > 0.2
+
+    def test_prototype_beats_vanilla_at_scale(self):
+        n = 944
+        v = AllreduceSeriesModel(make_config(VANILLA16, n, seed=3), n, 16, seed=1)
+        p = AllreduceSeriesModel(make_config(PROTO16, n, seed=3), n, 16, seed=1)
+        vm = v.run_series(200, 200.0).mean_us
+        pm = p.run_series(200, 200.0).mean_us
+        assert vm / pm > 1.8  # paper: ~3x
+
+    def test_15tpn_beats_16tpn_vanilla(self):
+        from repro.experiments.common import VANILLA15
+
+        v16 = AllreduceSeriesModel(make_config(VANILLA16, 944, seed=3), 944, 16, seed=1)
+        v15 = AllreduceSeriesModel(make_config(VANILLA15, 945, seed=3), 945, 15, seed=1)
+        assert v16.run_series(200, 200.0).mean_us > v15.run_series(200, 200.0).mean_us
+
+    def test_series_reproducible(self):
+        cfg = make_config(VANILLA16, 128, seed=5)
+        a = AllreduceSeriesModel(cfg, 128, 16, seed=9).run_series(50, 100.0)
+        b = AllreduceSeriesModel(cfg, 128, 16, seed=9).run_series(50, 100.0)
+        assert np.array_equal(a.durations_us, b.durations_us)
+
+    def test_stratified_split_counts(self):
+        cfg = make_config(PROTO16, 64, seed=0)
+        res = AllreduceSeriesModel(cfg, 64, 16, seed=0).run_series(100, 100.0)
+        assert len(res.durations_us) == 100
+
+
+class TestFits:
+    def test_linear_fit_exact(self):
+        x = np.array([1, 2, 3, 4.0])
+        y = 2.0 * x + 5.0
+        fit = fit_linear(x, y)
+        assert fit.slope == pytest.approx(2.0)
+        assert fit.intercept == pytest.approx(5.0)
+        assert fit.r2 == pytest.approx(1.0)
+
+    def test_log_fit_exact(self):
+        x = np.array([2, 4, 8, 16.0])
+        y = 3.0 * np.log2(x) + 1.0
+        fit = fit_log(x, y)
+        assert fit.slope == pytest.approx(3.0)
+        assert fit.kind == "log"
+
+    def test_predict(self):
+        fit = fit_linear([1, 2, 3], [2, 4, 6])
+        assert fit.predict([10])[0] == pytest.approx(20.0)
+
+    def test_compare_picks_generator(self):
+        x = np.array([2, 4, 8, 16, 32, 64.0])
+        _, _, w1 = compare_fits(x, 0.7 * x + 166)
+        assert w1 == "linear"
+        _, _, w2 = compare_fits(x, 30 * np.log2(x) + 50)
+        assert w2 == "log"
+
+    def test_too_few_points_raise(self):
+        with pytest.raises(ValueError):
+            fit_linear([1], [2])
+
+    def test_str_rendering(self):
+        s = str(fit_linear([1, 2, 3], [2, 4, 6]))
+        assert "R²" in s and "y =" in s
+
+    @settings(max_examples=50)
+    @given(
+        slope=st.floats(min_value=-10, max_value=10, allow_nan=False),
+        intercept=st.floats(min_value=-100, max_value=100, allow_nan=False),
+    )
+    def test_linear_fit_recovers_any_line(self, slope, intercept):
+        x = np.array([1.0, 2.0, 5.0, 9.0, 17.0])
+        fit = fit_linear(x, slope * x + intercept)
+        assert fit.slope == pytest.approx(slope, abs=1e-6)
+        assert fit.intercept == pytest.approx(intercept, abs=1e-5)

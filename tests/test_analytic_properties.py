@@ -1,0 +1,107 @@
+"""Property tests on the vectorised model: monotonicities the physics
+demands, across random configurations."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analytic.model import AllreduceSeriesModel
+from repro.config import (
+    ClusterConfig,
+    DaemonSpec,
+    KernelConfig,
+    MachineConfig,
+    MpiConfig,
+    NoiseConfig,
+)
+from repro.rng import Constant
+from repro.units import ms, s
+
+
+def config(n_ranks, daemon_period_us=None, daemon_service_us=None, seed=0, **kernel_kw):
+    daemons = ()
+    if daemon_period_us is not None:
+        daemons = (
+            DaemonSpec(
+                name="d",
+                period_us=daemon_period_us,
+                service=Constant(daemon_service_us),
+                priority=56,
+            ),
+        )
+    return ClusterConfig(
+        machine=MachineConfig(n_nodes=-(-n_ranks // 16), cpus_per_node=16),
+        kernel=KernelConfig(**kernel_kw),
+        mpi=MpiConfig.with_long_polling(),
+        noise=NoiseConfig(daemons=daemons),
+        seed=seed,
+    )
+
+
+class TestMonotonicities:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        n=st.sampled_from([32, 64, 128, 256]),
+        service=st.floats(min_value=100.0, max_value=5_000.0),
+    )
+    def test_more_noise_never_helps(self, n, service):
+        """Adding a daemon can only slow the mean down (statistically)."""
+        quiet = AllreduceSeriesModel(config(n), n, 16, seed=1).run_series(120, 200.0)
+        noisy_cfg = config(n, daemon_period_us=ms(20), daemon_service_us=service)
+        noisy = AllreduceSeriesModel(noisy_cfg, n, 16, seed=1).run_series(120, 200.0)
+        assert noisy.mean_us >= quiet.mean_us - 1.0
+
+    @settings(max_examples=15, deadline=None)
+    @given(n=st.sampled_from([32, 64, 128]))
+    def test_heavier_service_hurts_more(self, n):
+        light_cfg = config(n, daemon_period_us=ms(10), daemon_service_us=200.0)
+        heavy_cfg = config(n, daemon_period_us=ms(10), daemon_service_us=2_000.0)
+        light = AllreduceSeriesModel(light_cfg, n, 16, seed=2).run_series(150, 200.0)
+        heavy = AllreduceSeriesModel(heavy_cfg, n, 16, seed=2).run_series(150, 200.0)
+        assert heavy.mean_us > light.mean_us
+
+    @settings(max_examples=15, deadline=None)
+    @given(pair=st.sampled_from([(32, 128), (64, 256), (128, 512)]))
+    def test_more_ranks_never_faster(self, pair):
+        small_n, big_n = pair
+        small = AllreduceSeriesModel(config(small_n), small_n, 16, seed=3).run_series(40)
+        big = AllreduceSeriesModel(config(big_n), big_n, 16, seed=3).run_series(40)
+        assert big.mean_us >= small.mean_us - 1.0
+
+    @settings(max_examples=10, deadline=None)
+    @given(n=st.sampled_from([64, 128]), mult=st.sampled_from([5, 25]))
+    def test_big_ticks_reduce_quiet_latency(self, n, mult):
+        base = AllreduceSeriesModel(config(n), n, 16, seed=4).run_series(100, 200.0)
+        bt_cfg = config(n, big_tick_multiplier=mult)
+        bt = AllreduceSeriesModel(bt_cfg, n, 16, seed=4).run_series(100, 200.0)
+        # Fewer tick interrupts -> no worse on a quiet machine.
+        assert bt.mean_us <= base.mean_us + 2.0
+
+    @settings(max_examples=10, deadline=None)
+    @given(n=st.sampled_from([33, 65, 100, 250]))
+    def test_durations_always_positive_and_finite(self, n):
+        cfg = config(n, daemon_period_us=ms(5), daemon_service_us=1_000.0)
+        res = AllreduceSeriesModel(cfg, n, 16, seed=5).run_series(60, 100.0)
+        assert np.all(np.isfinite(res.durations_us))
+        assert np.all(res.durations_us > 0)
+
+
+class TestCoschedDutyProperty:
+    @settings(max_examples=10, deadline=None)
+    @given(duty=st.floats(min_value=0.5, max_value=0.95))
+    def test_stratified_split_respects_duty(self, duty):
+        from repro.config import CoschedConfig
+        from repro.daemons.catalog import standard_noise
+
+        cfg = ClusterConfig(
+            machine=MachineConfig(n_nodes=8, cpus_per_node=16),
+            kernel=KernelConfig.prototype(),
+            mpi=MpiConfig.with_long_polling(),
+            cosched=CoschedConfig(enabled=True, duty_cycle=duty),
+            noise=standard_noise(include_cron=False),
+            seed=6,
+        )
+        model = AllreduceSeriesModel(cfg, 128, 16, seed=6)
+        res = model.run_series(200, 200.0)
+        assert len(res.durations_us) == 200
+        assert np.all(np.isfinite(res.durations_us))

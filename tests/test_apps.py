@@ -1,0 +1,152 @@
+"""Application workloads: aggregate_trace, BSP, ALE3D proxy."""
+
+import numpy as np
+import pytest
+
+from repro.apps.aggregate_trace import (
+    AggregateTraceConfig,
+    PAPER_CONFIG,
+    run_aggregate_trace,
+)
+from repro.apps.ale3d import Ale3dConfig, run_ale3d
+from repro.apps.bsp import BspConfig, run_bsp
+from repro.config import ClusterConfig, MachineConfig, MpiConfig, NoiseConfig
+from repro.system import System
+from repro.trace.recorder import TraceRecorder
+from repro.units import ms, s
+
+
+def quiet_system(n_nodes=2, cpn=4, trace=None, with_io=False, **cfg_kw):
+    cfg = ClusterConfig(
+        machine=MachineConfig(n_nodes=n_nodes, cpus_per_node=cpn),
+        mpi=MpiConfig(progress_threads_enabled=False),
+        noise=NoiseConfig(),
+        **cfg_kw,
+    )
+    return System(cfg, trace=trace, with_io=with_io)
+
+
+class TestAggregateTrace:
+    def test_paper_config_structure(self):
+        assert PAPER_CONFIG.loops == 3
+        assert PAPER_CONFIG.calls_per_loop == 4096
+        assert PAPER_CONFIG.total_calls == 12288
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            AggregateTraceConfig(loops=0)
+
+    def test_run_collects_durations(self):
+        sysm = quiet_system()
+        res = run_aggregate_trace(
+            sysm, 8, 4, AggregateTraceConfig(calls_per_loop=32, loops=2)
+        )
+        assert len(res.durations_us) == 64
+        assert res.values_ok
+        assert res.min_us > 0
+        assert res.mean_us >= res.min_us
+        assert res.max_us >= res.median_us
+
+    def test_node0_sample_covers_node_ranks(self):
+        sysm = quiet_system()
+        res = run_aggregate_trace(sysm, 8, 4, AggregateTraceConfig(calls_per_loop=16))
+        assert set(res.node0_durations_us) == {0, 1, 2, 3}
+        sample = res.sorted_node0_sample()
+        assert len(sample) == 4 * 16
+        assert np.all(np.diff(sample) >= 0)
+
+    def test_trace_marks_every_block(self):
+        trace = TraceRecorder()
+        sysm = quiet_system(trace=trace)
+        run_aggregate_trace(
+            sysm, 4, 4, AggregateTraceConfig(calls_per_loop=128, trace_block=64)
+        )
+        marks = trace.marks_named("aggr.block")
+        # 4 ranks x 2 blocks per loop x 1 loop.
+        assert len(marks) == 8
+        assert len(trace.marks_named("aggr.loop_end")) == 4
+
+    def test_compute_between_stretches_run(self):
+        sysm1 = quiet_system()
+        fast = run_aggregate_trace(
+            sysm1, 4, 4, AggregateTraceConfig(calls_per_loop=16, compute_between_us=0.0)
+        )
+        sysm2 = quiet_system()
+        slow = run_aggregate_trace(
+            sysm2, 4, 4, AggregateTraceConfig(calls_per_loop=16, compute_between_us=ms(1))
+        )
+        assert slow.elapsed_us > fast.elapsed_us + 15 * ms(1)
+
+
+class TestBsp:
+    def test_cycle_times_recorded(self):
+        res = run_bsp(quiet_system(), 8, 4, BspConfig(cycles=10, compute_us=ms(1)))
+        assert len(res.cycle_times_us) == 10
+        assert res.mean_cycle_us >= ms(1)
+
+    def test_collective_options(self):
+        for coll in ("allreduce", "barrier", "allgather"):
+            res = run_bsp(
+                quiet_system(), 4, 4, BspConfig(cycles=3, compute_us=100.0, collective=coll)
+            )
+            assert len(res.cycle_times_us) == 3
+
+    def test_efficiency_below_one_with_imbalance(self):
+        res = run_bsp(
+            quiet_system(), 8, 4, BspConfig(cycles=10, compute_us=ms(1), imbalance=0.3)
+        )
+        assert res.efficiency(ideal_cycle_us=ms(1)) < 1.0
+
+    def test_deterministic_given_seed(self):
+        a = run_bsp(quiet_system(), 4, 4, BspConfig(cycles=5))
+        b = run_bsp(quiet_system(), 4, 4, BspConfig(cycles=5))
+        assert np.array_equal(a.cycle_times_us, b.cycle_times_us)
+
+
+class TestAle3d:
+    def test_runs_and_reports(self):
+        sysm = quiet_system(with_io=True)
+        cfg = Ale3dConfig(
+            timesteps=5,
+            lagrange_us=ms(1),
+            remap_us=500.0,
+            initial_read_bytes=10_000,
+            restart_write_bytes=10_000,
+        )
+        res = run_ale3d(sysm, 8, 4, cfg)
+        assert len(res.step_times_us) == 5
+        assert res.io_time_us > 0
+        assert res.elapsed_us > res.io_time_us
+
+    def test_io_free_without_service(self):
+        sysm = quiet_system(with_io=False)
+        cfg = Ale3dConfig(timesteps=3, lagrange_us=ms(1), remap_us=100.0)
+        res = run_ale3d(sysm, 4, 4, cfg)
+        # Only barrier cost in the "I/O" phases.
+        assert res.io_time_us < ms(5)
+
+    def test_detach_api_tolerated_without_cosched(self):
+        sysm = quiet_system(with_io=True)
+        cfg = Ale3dConfig(
+            timesteps=2,
+            lagrange_us=100.0,
+            remap_us=50.0,
+            initial_read_bytes=1000,
+            restart_write_bytes=1000,
+            use_detach_api=True,
+        )
+        res = run_ale3d(sysm, 4, 4, cfg)
+        assert len(res.step_times_us) == 2
+
+    def test_step_time_scales_with_compute(self):
+        light = run_ale3d(
+            quiet_system(with_io=True), 4, 4,
+            Ale3dConfig(timesteps=3, lagrange_us=ms(1), remap_us=0.0,
+                        initial_read_bytes=0, restart_write_bytes=0),
+        )
+        heavy = run_ale3d(
+            quiet_system(with_io=True), 4, 4,
+            Ale3dConfig(timesteps=3, lagrange_us=ms(4), remap_us=0.0,
+                        initial_read_bytes=0, restart_write_bytes=0),
+        )
+        assert heavy.mean_step_us > light.mean_step_us + ms(2)

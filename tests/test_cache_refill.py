@@ -1,0 +1,72 @@
+"""Cache-pollution penalty on resume after foreign occupancy."""
+
+import pytest
+
+from repro.config import KernelConfig
+from repro.kernel.thread import Compute, Sleep
+from repro.units import ms
+from tests.conftest import make_harness
+
+
+def kernel(refill):
+    return KernelConfig(context_switch_us=0.0, tick_cost_us=0.0, cache_refill_us=refill)
+
+
+class TestCacheRefill:
+    def test_uncontended_thread_pays_nothing(self):
+        h = make_harness(n_cpus=1, kernel=kernel(50.0))
+        h.spawn(h.worker("a", [100.0, 100.0]))
+        h.run(ms(5))
+        # Same thread re-placing (sleep/resume) never pays: no eviction.
+        assert h.times("a") == [100.0, 200.0]
+
+    def test_victim_pays_refill_after_daemon(self):
+        h = make_harness(n_cpus=1, kernel=kernel(50.0))
+        h.spawn(h.worker("app", [ms(30)]), priority=60, cpu=0)
+
+        def daemon():
+            yield Sleep(ms(5))
+            yield Compute(200.0)
+
+        h.spawn(daemon(), priority=56, cpu=0, allow_steal=False)
+        h.run(ms(60))
+        (done,) = h.times("app")
+        # 30 ms work + daemon's 200 us + the daemon's own refill (it was
+        # placed after the app) + the app's refill on resume.
+        assert done == pytest.approx(ms(30) + 200.0 + 50.0 + 50.0, abs=1.0)
+
+    def test_disabled_by_default(self):
+        assert KernelConfig().cache_refill_us == 0.0
+        h = make_harness(n_cpus=1, kernel=kernel(0.0))
+        h.spawn(h.worker("app", [ms(30)]), priority=60, cpu=0)
+
+        def daemon():
+            yield Sleep(ms(5))
+            yield Compute(200.0)
+
+        h.spawn(daemon(), priority=56, cpu=0, allow_steal=False)
+        h.run(ms(60))
+        assert h.times("app") == [pytest.approx(ms(30) + 200.0, abs=1.0)]
+
+    def test_refill_amplifies_interference_end_to_end(self):
+        """With pollution on, the same daemon ecology hurts more — the
+        paper's page-fault observation, quantified."""
+        from repro.apps.aggregate_trace import AggregateTraceConfig, run_aggregate_trace
+        from repro.config import ClusterConfig, MachineConfig, MpiConfig
+        from repro.daemons.catalog import scale_noise, standard_noise
+        from repro.system import System
+
+        def run(refill):
+            cfg = ClusterConfig(
+                machine=MachineConfig(n_nodes=2, cpus_per_node=8),
+                kernel=KernelConfig(cache_refill_us=refill),
+                mpi=MpiConfig(progress_threads_enabled=False),
+                noise=scale_noise(standard_noise(include_cron=False), 40.0),
+                seed=3,
+            )
+            return run_aggregate_trace(
+                System(cfg), 16, 8,
+                AggregateTraceConfig(calls_per_loop=200, compute_between_us=200.0),
+            ).mean_us
+
+        assert run(30.0) > run(0.0)

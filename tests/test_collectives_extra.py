@@ -1,0 +1,172 @@
+"""Extended collectives: reduce_scatter, alltoall, scan, hardware allreduce."""
+
+import operator
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import ClusterConfig, MachineConfig, MpiConfig
+from repro.machine import Cluster
+from repro.mpi.world import MpiJob
+from repro.units import s
+
+
+def run_collective(n_ranks, body_factory, tpn=None, seed=0, mpi=None):
+    tpn = tpn if tpn is not None else min(4, n_ranks)
+    n_nodes = -(-n_ranks // tpn)
+    cfg = ClusterConfig(
+        machine=MachineConfig(n_nodes=n_nodes, cpus_per_node=tpn),
+        mpi=mpi if mpi is not None else MpiConfig(progress_threads_enabled=False),
+        seed=seed,
+    )
+    cluster = Cluster(cfg)
+    job = MpiJob(cluster, cluster.place(n_ranks, tpn), body_factory, config=cfg.mpi)
+    job.run(horizon_us=s(60))
+    return job
+
+
+class TestReduceScatter:
+    @pytest.mark.parametrize("n", [2, 3, 4, 5, 8])
+    def test_each_rank_gets_its_block_sum(self, n):
+        results = {}
+
+        def body(rank, api):
+            # Block j contributed by rank i is i*10 + j.
+            values = [rank * 10 + j for j in range(n)]
+            results[rank] = yield from api.reduce_scatter(values)
+
+        run_collective(n, body)
+        for r in range(n):
+            expected = sum(i * 10 + r for i in range(n))
+            assert results[r] == expected
+
+    def test_wrong_block_count_raises(self):
+        def body(rank, api):
+            yield from api.reduce_scatter([1, 2, 3])  # size is 2
+
+        with pytest.raises(ValueError):
+            run_collective(2, body)
+
+    def test_max_op(self):
+        results = {}
+
+        def body(rank, api):
+            results[rank] = yield from api.reduce_scatter(
+                [rank * 10 + j for j in range(4)], op=max
+            )
+
+        run_collective(4, body)
+        assert results == {j: 30 + j for j in range(4)}
+
+
+class TestAlltoall:
+    @pytest.mark.parametrize("n", [2, 3, 4, 7, 8])
+    def test_full_exchange(self, n):
+        results = {}
+
+        def body(rank, api):
+            values = [f"{rank}->{dst}" for dst in range(n)]
+            results[rank] = yield from api.alltoall(values)
+
+        run_collective(n, body)
+        for dst in range(n):
+            assert results[dst] == [f"{src}->{dst}" for src in range(n)]
+
+    def test_wrong_count_raises(self):
+        def body(rank, api):
+            yield from api.alltoall([1])
+
+        with pytest.raises(ValueError):
+            run_collective(2, body)
+
+
+class TestScan:
+    @pytest.mark.parametrize("n", [2, 3, 4, 6, 9, 16])
+    def test_inclusive_prefix_sums(self, n):
+        results = {}
+
+        def body(rank, api):
+            results[rank] = yield from api.scan(rank + 1)
+
+        run_collective(n, body)
+        for r in range(n):
+            assert results[r] == sum(range(1, r + 2))
+
+    def test_noncommutative_order(self):
+        """String concatenation exposes ordering mistakes immediately."""
+        results = {}
+
+        def body(rank, api):
+            results[rank] = yield from api.scan(str(rank), op=operator.add)
+
+        run_collective(5, body)
+        assert results[4] == "01234"
+
+    def test_single_rank(self):
+        results = {}
+
+        def body(rank, api):
+            results[rank] = yield from api.scan(7.0)
+
+        run_collective(1, body)
+        assert results[0] == 7.0
+
+
+class TestHardwareAllreduce:
+    @pytest.mark.parametrize("n", [2, 3, 4, 8, 13])
+    def test_correct_sum(self, n):
+        results = {}
+
+        def body(rank, api):
+            results[rank] = yield from api.allreduce(float(rank))
+
+        run_collective(
+            n, body, mpi=MpiConfig(progress_threads_enabled=False, algorithm="hardware")
+        )
+        assert set(results.values()) == {float(sum(range(n)))}
+
+    def test_consecutive_ops_do_not_cross(self):
+        results = {}
+
+        def body(rank, api):
+            a = yield from api.allreduce(1.0)
+            b = yield from api.allreduce(10.0)
+            results[rank] = (a, b)
+
+        run_collective(
+            6, body, mpi=MpiConfig(progress_threads_enabled=False, algorithm="hardware")
+        )
+        assert set(results.values()) == {(6.0, 60.0)}
+
+    def test_faster_than_software_tree_at_size(self):
+        times = {}
+
+        def make(key):
+            def body(rank, api):
+                t0 = api.now
+                for _ in range(10):
+                    yield from api.allreduce(1.0)
+                if rank == 0:
+                    times[key] = api.now - t0
+
+            return body
+
+        run_collective(
+            16, make("hw"), tpn=8,
+            mpi=MpiConfig(progress_threads_enabled=False, algorithm="hardware"),
+        )
+        run_collective(
+            16, make("sw"), tpn=8,
+            mpi=MpiConfig(progress_threads_enabled=False),
+        )
+        assert times["hw"] < times["sw"]
+
+    def test_analytic_model_hardware_branch(self):
+        from repro.analytic.model import AllreduceSeriesModel
+        from repro.experiments.common import VANILLA16, make_config
+
+        base = make_config(VANILLA16, 256, seed=1)
+        hw = base.replace(mpi=MpiConfig(algorithm="hardware"))
+        sw_mean = AllreduceSeriesModel(base, 256, 16, seed=2).run_series(100, 200.0).mean_us
+        hw_mean = AllreduceSeriesModel(hw, 256, 16, seed=2).run_series(100, 200.0).mean_us
+        assert hw_mean < sw_mean

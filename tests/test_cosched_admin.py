@@ -1,0 +1,83 @@
+"""/etc/poe.priority parsing and the MP_PRIORITY matching semantics."""
+
+import pytest
+
+from repro.cosched.admin import PoePriorityFile, PriorityRecord
+from repro.units import s
+
+SAMPLE = """
+# /etc/poe.priority — root-only writable, identical on each node
+premium  jones   30 100 5 90
+standard jones   50 100 10 80
+premium  maskell 41 100 5 95   # tuned above GPFS mmfsd at 40
+"""
+
+
+class TestParsing:
+    def test_parses_records_and_comments(self):
+        f = PoePriorityFile.parse(SAMPLE)
+        assert len(f.records) == 3
+        rec = f.records[0]
+        assert rec == PriorityRecord("premium", "jones", 30, 100, 5.0, 90.0)
+
+    def test_wrong_field_count_rejected(self):
+        with pytest.raises(ValueError, match="6 fields"):
+            PoePriorityFile.parse("premium jones 30 100 5\n")
+
+    def test_non_numeric_rejected(self):
+        with pytest.raises(ValueError):
+            PoePriorityFile.parse("premium jones thirty 100 5 90\n")
+
+    def test_priority_range_validated(self):
+        with pytest.raises(ValueError, match="priority"):
+            PoePriorityFile.parse("p u 300 100 5 90\n")
+
+    def test_duty_range_validated(self):
+        with pytest.raises(ValueError, match="duty"):
+            PoePriorityFile.parse("p u 30 100 5 150\n")
+
+    def test_period_validated(self):
+        with pytest.raises(ValueError, match="period"):
+            PoePriorityFile.parse("p u 30 100 0 90\n")
+
+    def test_empty_file(self):
+        assert PoePriorityFile.parse("").records == []
+
+    def test_load_from_disk(self, tmp_path):
+        p = tmp_path / "poe.priority"
+        p.write_text(SAMPLE)
+        assert len(PoePriorityFile.load(p).records) == 3
+
+
+class TestMatching:
+    def test_match_class_and_user(self):
+        f = PoePriorityFile.parse(SAMPLE)
+        rec = f.match("premium", "maskell")
+        assert rec is not None and rec.favored == 41
+
+    def test_first_match_wins(self):
+        f = PoePriorityFile.parse(SAMPLE)
+        assert f.match("premium", "jones").favored == 30
+
+    def test_no_match_returns_none(self):
+        """Paper: 'an attention message is printed and the job runs as if
+        no priority had been requested.'"""
+        f = PoePriorityFile.parse(SAMPLE)
+        assert f.match("premium", "nobody") is None
+        assert f.match("gold", "jones") is None
+
+
+class TestToConfig:
+    def test_to_config_translation(self):
+        rec = PriorityRecord("premium", "jones", 30, 100, 5.0, 90.0)
+        cfg = rec.to_config()
+        assert cfg.enabled
+        assert cfg.favored_priority == 30
+        assert cfg.unfavored_priority == 100
+        assert cfg.period_us == s(5)
+        assert cfg.duty_cycle == pytest.approx(0.90)
+
+    def test_to_config_overrides(self):
+        rec = PriorityRecord("premium", "jones", 30, 100, 5.0, 90.0)
+        cfg = rec.to_config(sync_clock=False)
+        assert not cfg.sync_clock

@@ -1,0 +1,117 @@
+"""Demand-based (message-driven) co-scheduling."""
+
+import pytest
+
+from repro.config import ClusterConfig, MachineConfig, MpiConfig, NoiseConfig
+from repro.cosched.demand import DemandConfig, DemandCoscheduler
+from repro.machine import Cluster
+from repro.mpi.world import MpiJob
+from repro.units import ms, s
+
+
+def build(body, n_ranks=4, tpn=4, demand=None, seed=0):
+    cfg = ClusterConfig(
+        machine=MachineConfig(n_nodes=-(-n_ranks // tpn), cpus_per_node=tpn),
+        mpi=MpiConfig(progress_threads_enabled=False),
+        noise=NoiseConfig(),
+        seed=seed,
+    )
+    cluster = Cluster(cfg)
+    job = MpiJob(cluster, cluster.place(n_ranks, tpn), body, config=cfg.mpi)
+    dc = DemandCoscheduler(cluster, job, demand if demand is not None else DemandConfig())
+    return cluster, job, dc
+
+
+class TestDemandConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DemandConfig(boost_priority=200)
+        with pytest.raises(ValueError):
+            DemandConfig(boost_priority=70, base_priority=60)
+        with pytest.raises(ValueError):
+            DemandConfig(quantum_us=0.0)
+
+
+class TestDemandCoscheduler:
+    def test_message_boosts_recipient(self):
+        got = {}
+
+        def body(rank, api):
+            if rank == 0:
+                yield from api.compute(ms(1))
+                yield from api.send(1, "t", "x")
+                yield from api.compute(ms(5))
+            else:
+                got["v"] = yield from api.recv(0, "t")
+                got["prio_after_recv"] = api.world.rank_threads[1].priority
+                yield from api.compute(ms(5))
+
+        cluster, job, dc = build(body, n_ranks=2, tpn=2)
+        job.run(horizon_us=s(5))
+        assert got["v"] == "x"
+        assert got["prio_after_recv"] == 45
+        assert dc.boosts >= 1
+
+    def test_boost_decays_after_quantum(self):
+        def body(rank, api):
+            if rank == 0:
+                yield from api.send(1, "t", None)
+            else:
+                yield from api.recv(0, "t")
+                yield from api.compute(ms(50))  # long quiet compute
+
+        cluster, job, dc = build(body, n_ranks=2, tpn=2, demand=DemandConfig(quantum_us=ms(5)))
+        cluster.sim.run_until(ms(30))
+        assert job.tasks[1].priority == 60  # decayed back
+
+    def test_refresh_extends_quantum(self):
+        def body(rank, api):
+            if rank == 0:
+                for i in range(10):
+                    yield from api.compute(ms(2))
+                    yield from api.send(1, ("t", i), None)
+            else:
+                for i in range(10):
+                    yield from api.recv(0, ("t", i))
+                yield from api.compute(ms(1))
+
+        cluster, job, dc = build(body, n_ranks=2, tpn=2, demand=DemandConfig(quantum_us=ms(5)))
+        cluster.sim.run_until(ms(15))
+        # Traffic every 2ms refreshes the 5ms quantum: still boosted.
+        assert job.tasks[1].priority == 45
+
+    def test_double_listener_rejected(self):
+        def body(rank, api):
+            yield from api.compute(ms(1))
+
+        cluster, job, dc = build(body)
+        with pytest.raises(RuntimeError, match="listener"):
+            DemandCoscheduler(cluster, job)
+
+    def test_detach_restores(self):
+        def body(rank, api):
+            if rank == 0:
+                yield from api.send(1, "t", None)
+                yield from api.compute(ms(20))
+            else:
+                yield from api.recv(0, "t")
+                yield from api.compute(ms(20))
+
+        cluster, job, dc = build(body, n_ranks=2, tpn=2)
+        cluster.sim.run_until(ms(5))
+        assert job.tasks[1].priority == 45
+        dc.detach()
+        assert job.tasks[1].priority == 60
+        assert job.world.arrival_listener is None
+
+    def test_finished_tasks_untouched(self):
+        def body(rank, api):
+            if rank == 0:
+                yield from api.send(1, "t", None)
+            else:
+                yield from api.recv(0, "t")
+
+        cluster, job, dc = build(body, n_ranks=2, tpn=2)
+        job.run(horizon_us=s(5))
+        cluster.run_for(ms(50))  # decay events fire post-finish: no crash
+        assert job.done

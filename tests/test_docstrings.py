@@ -1,0 +1,52 @@
+"""Documentation coverage gate: every public item carries a docstring.
+
+Deliverable (e) requires doc comments on every public item; this test
+makes that a property of the build rather than a review checklist.
+"""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+
+def _public_modules():
+    yield repro
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        if any(part.startswith("_") for part in info.name.split(".")):
+            continue
+        yield importlib.import_module(info.name)
+
+
+MODULES = list(_public_modules())
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_module_has_docstring(module):
+    assert module.__doc__ and module.__doc__.strip(), f"{module.__name__} lacks a docstring"
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_public_classes_and_functions_documented(module):
+    missing = []
+    for name, obj in vars(module).items():
+        if name.startswith("_"):
+            continue
+        if not (inspect.isclass(obj) or inspect.isfunction(obj)):
+            continue
+        if getattr(obj, "__module__", None) != module.__name__:
+            continue  # re-export; documented at its home
+        if not (obj.__doc__ and obj.__doc__.strip()):
+            missing.append(name)
+        if inspect.isclass(obj):
+            for mname, meth in vars(obj).items():
+                if mname.startswith("_"):
+                    continue
+                if inspect.isfunction(meth) and not (meth.__doc__ and meth.__doc__.strip()):
+                    # Tiny accessors are exempt only if trivially named
+                    # properties; plain methods must be documented.
+                    missing.append(f"{name}.{mname}")
+    assert not missing, f"{module.__name__}: undocumented public items: {missing}"

@@ -1,0 +1,103 @@
+"""Fine-grain region hints (paper §7 future work)."""
+
+import pytest
+
+from repro.config import (
+    ClusterConfig,
+    CoschedConfig,
+    KernelConfig,
+    MachineConfig,
+    MpiConfig,
+    PRIO_NORMAL,
+)
+from repro.cosched.coscheduler import JobCoscheduler
+from repro.machine import Cluster
+from repro.mpi.world import MpiJob
+from repro.units import ms, s
+
+
+def build(fine_grain_only=True, body=None, seed=0):
+    cos = CoschedConfig(
+        enabled=True,
+        period_us=ms(100),
+        duty_cycle=0.8,
+        favored_priority=30,
+        unfavored_priority=100,
+        fine_grain_only=fine_grain_only,
+    )
+    cfg = ClusterConfig(
+        machine=MachineConfig(n_nodes=1, cpus_per_node=4),
+        kernel=KernelConfig.prototype(big_tick=2),
+        cosched=cos,
+        mpi=MpiConfig(progress_threads_enabled=False),
+        seed=seed,
+    )
+    cluster = Cluster(cfg)
+
+    if body is None:
+        def body(rank, api):
+            while True:
+                yield from api.compute(ms(500))
+
+    job = MpiJob(cluster, cluster.place(4, 4), body, config=cfg.mpi)
+    jc = JobCoscheduler(cluster, job, cos)
+    return cluster, job, jc
+
+
+class TestFineGrainHints:
+    def test_undeclared_tasks_stay_normal_in_favored_window(self):
+        cluster, job, jc = build()
+        cluster.sim.run_until(ms(250))  # inside a favored window
+        assert jc.node_coscheds[0].window == "favored"
+        assert all(t.priority == PRIO_NORMAL for t in job.tasks)
+
+    def test_declared_task_boosted_immediately(self):
+        cluster, job, jc = build()
+        cluster.sim.run_until(ms(250))
+        job.apis[1].fine_grain_begin()
+        assert job.tasks[1].priority == 30
+        assert job.tasks[0].priority == PRIO_NORMAL
+        job.apis[1].fine_grain_end()
+        assert job.tasks[1].priority == PRIO_NORMAL
+
+    def test_declared_region_carries_across_windows(self):
+        cluster, job, jc = build()
+        cluster.sim.run_until(ms(250))
+        job.apis[2].fine_grain_begin()
+        # Through unfavored (everyone 100) and back to favored (fg -> 30).
+        cluster.sim.run_until(ms(450))
+        assert jc.node_coscheds[0].window == "favored"
+        assert job.tasks[2].priority == 30
+        assert job.tasks[0].priority == PRIO_NORMAL
+
+    def test_unfavored_window_overrides_hints(self):
+        cluster, job, jc = build()
+        cluster.sim.run_until(ms(250))
+        job.apis[0].fine_grain_begin()
+        # Advance into the unfavored part of a cycle (80-100 of each 100ms).
+        while jc.node_coscheds[0].window != "unfavored":
+            cluster.sim.run_until(cluster.sim.now + ms(5))
+        assert job.tasks[0].priority == 100
+
+    def test_without_flag_hints_are_inert(self):
+        cluster, job, jc = build(fine_grain_only=False)
+        cluster.sim.run_until(ms(250))
+        assert all(t.priority == 30 for t in job.tasks)
+        job.apis[0].fine_grain_begin()
+        assert job.tasks[0].priority == 30  # already favored; no change
+
+    def test_hints_noop_without_cosched(self):
+        cfg = ClusterConfig(
+            machine=MachineConfig(n_nodes=1, cpus_per_node=2),
+            mpi=MpiConfig(progress_threads_enabled=False),
+        )
+        cluster = Cluster(cfg)
+
+        def body(rank, api):
+            api.fine_grain_begin()
+            yield from api.compute(100.0)
+            api.fine_grain_end()
+
+        job = MpiJob(cluster, cluster.place(2, 2), body, config=cfg.mpi)
+        job.run(horizon_us=s(1))
+        assert job.done

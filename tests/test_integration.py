@@ -1,0 +1,177 @@
+"""Whole-system integration: DES end-to-end runs, DES↔model
+cross-validation, and the paper's headline mechanisms at DES scale."""
+
+import numpy as np
+import pytest
+
+from repro.analytic.model import AllreduceSeriesModel
+from repro.apps.aggregate_trace import AggregateTraceConfig, run_aggregate_trace
+from repro.config import (
+    ClusterConfig,
+    CoschedConfig,
+    KernelConfig,
+    MachineConfig,
+    MpiConfig,
+    NoiseConfig,
+)
+from repro.daemons.catalog import scale_noise, standard_noise
+from repro.system import System
+from repro.units import ms, s
+
+
+def build_system(n_nodes=2, cpn=8, kernel=None, noise=None, mpi=None, cosched=None, seed=3):
+    cfg = ClusterConfig(
+        machine=MachineConfig(n_nodes=n_nodes, cpus_per_node=cpn),
+        kernel=kernel if kernel is not None else KernelConfig(),
+        noise=noise if noise is not None else NoiseConfig(),
+        mpi=mpi if mpi is not None else MpiConfig(progress_threads_enabled=False),
+        cosched=cosched if cosched is not None else CoschedConfig(enabled=False),
+        seed=seed,
+    )
+    return System(cfg)
+
+
+class TestDesModelCrossValidation:
+    """The two implementations must agree where both can run."""
+
+    def test_zero_noise_base_latency_agrees(self):
+        n, tpn = 16, 8
+        sysm = build_system(n_nodes=2, cpn=8)
+        des = run_aggregate_trace(
+            sysm, n, tpn, AggregateTraceConfig(calls_per_loop=64, compute_between_us=0.0)
+        )
+        cfg = sysm.config
+        model = AllreduceSeriesModel(cfg, n, tpn, seed=0)
+        mod = model.run_series(64)
+        # Same configs, same collective schedule: medians within 40%
+        # (the DES carries dispatch/context mechanics the model abstracts).
+        assert mod.median_us == pytest.approx(des.median_us, rel=0.4)
+
+    def test_noise_hurts_both_in_same_direction(self):
+        n, tpn = 16, 8
+        noise = scale_noise(standard_noise(include_cron=False), 30.0)
+        quiet_sys = build_system()
+        noisy_sys = build_system(noise=noise)
+        atc = AggregateTraceConfig(calls_per_loop=150, compute_between_us=200.0)
+        des_quiet = run_aggregate_trace(quiet_sys, n, tpn, atc)
+        des_noisy = run_aggregate_trace(noisy_sys, n, tpn, atc)
+        assert des_noisy.mean_us > des_quiet.mean_us
+
+        quiet_cfg = quiet_sys.config
+        noisy_cfg = noisy_sys.config
+        m_quiet = AllreduceSeriesModel(quiet_cfg, n, tpn, seed=1).run_series(150, 200.0)
+        m_noisy = AllreduceSeriesModel(noisy_cfg, n, tpn, seed=1).run_series(150, 200.0)
+        assert m_noisy.mean_us > m_quiet.mean_us
+
+
+class TestHeadlineMechanismsAtDesScale:
+    """The paper's findings, reproduced in the event-level simulator."""
+
+    NOISE_SCALE = 30.0
+
+    def _noise(self):
+        return scale_noise(standard_noise(include_cron=False), self.NOISE_SCALE)
+
+    def test_noise_creates_tail(self):
+        sysm = build_system(noise=self._noise())
+        res = run_aggregate_trace(
+            sysm, 16, 8, AggregateTraceConfig(calls_per_loop=300, compute_between_us=200.0)
+        )
+        assert res.max_us > 3 * res.median_us
+
+    def test_spare_cpu_absorbs_daemons(self):
+        """15-per-node analogue: 7/8 occupancy kills the daemon tail."""
+        atc = AggregateTraceConfig(calls_per_loop=300, compute_between_us=200.0)
+        full = run_aggregate_trace(build_system(noise=self._noise()), 16, 8, atc)
+        spare = run_aggregate_trace(build_system(noise=self._noise()), 14, 7, atc)
+        assert spare.max_us < full.max_us
+
+    def test_prototype_plus_cosched_beats_vanilla(self):
+        atc = AggregateTraceConfig(calls_per_loop=400, compute_between_us=200.0)
+        vanilla = run_aggregate_trace(build_system(noise=self._noise()), 16, 8, atc)
+        proto = run_aggregate_trace(
+            build_system(
+                noise=self._noise(),
+                kernel=KernelConfig.prototype(big_tick=2),
+                cosched=CoschedConfig(
+                    enabled=True, period_us=s(5) / self.NOISE_SCALE, duty_cycle=0.9
+                ),
+            ),
+            16,
+            8,
+            atc,
+        )
+        assert proto.mean_us < vanilla.mean_us
+        assert proto.max_us < vanilla.max_us
+
+    def test_timer_threads_create_interference(self):
+        atc = AggregateTraceConfig(calls_per_loop=200, compute_between_us=200.0)
+        with_timers = run_aggregate_trace(
+            build_system(mpi=MpiConfig(progress_interval_us=ms(20))), 16, 8, atc
+        )
+        without = run_aggregate_trace(
+            build_system(mpi=MpiConfig.with_long_polling()), 16, 8, atc
+        )
+        assert with_timers.mean_us > without.mean_us
+
+    def test_values_stay_correct_under_heavy_noise(self):
+        """Interference must never corrupt the reduction semantics."""
+        noise = scale_noise(standard_noise(include_cron=False), 100.0)
+        res = run_aggregate_trace(
+            build_system(noise=noise),
+            16,
+            8,
+            AggregateTraceConfig(calls_per_loop=100, compute_between_us=100.0),
+        )
+        assert res.values_ok
+
+    def test_big_ticks_reduce_tick_overhead(self):
+        """§3.1.1: 25x fewer tick interrupts -> measurably less overhead
+        on a pure-compute workload."""
+        def run(kernel):
+            sysm = build_system(n_nodes=1, cpn=2, kernel=kernel)
+            job = sysm.launch(2, 2, lambda rank, api: api.compute(s(2)))
+            return job.run(horizon_us=s(10))
+
+        vanilla = run(KernelConfig())
+        bigtick = run(KernelConfig(big_tick_multiplier=25))
+        assert bigtick < vanilla
+
+    def test_reproducibility_end_to_end(self):
+        atc = AggregateTraceConfig(calls_per_loop=100, compute_between_us=150.0)
+        a = run_aggregate_trace(build_system(noise=self._noise(), seed=11), 8, 4, atc)
+        b = run_aggregate_trace(build_system(noise=self._noise(), seed=11), 8, 4, atc)
+        assert np.array_equal(a.durations_us, b.durations_us)
+        c = run_aggregate_trace(build_system(noise=self._noise(), seed=12), 8, 4, atc)
+        assert not np.array_equal(a.durations_us, c.durations_us)
+
+
+class TestSystemBuilder:
+    def test_launch_with_cosched_config(self):
+        sysm = build_system(
+            kernel=KernelConfig.prototype(big_tick=2),
+            cosched=CoschedConfig(enabled=True, period_us=ms(200)),
+        )
+        job = sysm.launch(8, 4, lambda rank, api: api.compute(ms(500)))
+        assert len(sysm.coscheds) == 1
+        job.run(horizon_us=s(10))
+
+    def test_io_services_wired(self):
+        cfg = ClusterConfig(
+            machine=MachineConfig(n_nodes=2, cpus_per_node=4),
+            mpi=MpiConfig(progress_threads_enabled=False),
+        )
+        sysm = System(cfg, with_io=True)
+        assert len(sysm.io_services) == 2
+        job = sysm.launch(8, 4, lambda rank, api: api.io_request(1000))
+        job.run(horizon_us=s(10))
+        assert sysm.io_services[0].completed == 4
+        assert sysm.io_services[1].completed == 4
+
+    def test_daemons_installed_from_config(self):
+        cfg = ClusterConfig(
+            machine=MachineConfig(n_nodes=2, cpus_per_node=4),
+            noise=standard_noise(),
+        )
+        sysm = System(cfg)
+        assert len(sysm.daemons) > 10

@@ -1,0 +1,103 @@
+"""Node/cluster assembly, placement, clock offsets and sync."""
+
+import pytest
+
+from repro.config import (
+    ClusterConfig,
+    CoschedConfig,
+    KernelConfig,
+    MachineConfig,
+)
+from repro.machine import Cluster, Placement
+from repro.units import ms
+
+
+class TestPlacement:
+    def test_block_placement(self):
+        p = Placement(n_ranks=32, tasks_per_node=16)
+        assert p.node_of(0) == 0
+        assert p.node_of(15) == 0
+        assert p.node_of(16) == 1
+        assert p.cpu_of(17) == 1
+        assert p.n_nodes == 2
+
+    def test_partial_last_node(self):
+        p = Placement(n_ranks=20, tasks_per_node=16)
+        assert p.n_nodes == 2
+
+    def test_15_per_node_leaves_top_cpu_free(self):
+        p = Placement(n_ranks=30, tasks_per_node=15)
+        cpus = {p.cpu_of(r) for r in range(30)}
+        assert 15 not in cpus
+        assert max(cpus) == 14
+
+
+class TestCluster:
+    def test_shapes(self):
+        cfg = ClusterConfig(machine=MachineConfig(n_nodes=3, cpus_per_node=4))
+        c = Cluster(cfg)
+        assert c.n_nodes == 3
+        assert c.cpus_per_node == 4
+        assert c.total_cpus == 12
+        assert all(n.scheduler.n_cpus == 4 for n in c.nodes)
+
+    def test_place_validates(self):
+        c = Cluster(ClusterConfig(machine=MachineConfig(n_nodes=2, cpus_per_node=4)))
+        with pytest.raises(ValueError):
+            c.place(8, tasks_per_node=5)
+        with pytest.raises(ValueError):
+            c.place(100, tasks_per_node=4)
+        p = c.place(8, tasks_per_node=4)
+        assert p.n_nodes == 2
+
+    def test_unsynced_clock_offsets_are_large_and_distinct(self):
+        cfg = ClusterConfig(machine=MachineConfig(n_nodes=4, max_clock_offset_us=ms(200)))
+        c = Cluster(cfg)
+        offs = [n.clock_offset_us for n in c.nodes]
+        assert len(set(offs)) == 4
+        assert all(abs(o) <= ms(200) for o in offs)
+        assert max(abs(o) for o in offs) > 100.0  # virtually certain
+
+    def test_synced_clocks_within_read_error(self):
+        cfg = ClusterConfig(
+            machine=MachineConfig(n_nodes=4),
+            cosched=CoschedConfig(enabled=True, sync_clock=True),
+        )
+        c = Cluster(cfg)
+        for n in c.nodes:
+            assert abs(n.clock_offset_us) <= c.switch.read_error_us
+
+    def test_local_global_time_roundtrip(self):
+        c = Cluster(ClusterConfig(machine=MachineConfig(n_nodes=2)))
+        node = c.nodes[1]
+        t = 123_456.0
+        assert node.global_time(node.local_time(t)) == pytest.approx(t)
+
+    def test_reproducible_construction(self):
+        cfg = ClusterConfig(machine=MachineConfig(n_nodes=3), seed=77)
+        a = Cluster(cfg)
+        b = Cluster(cfg)
+        assert [n.clock_offset_us for n in a.nodes] == [n.clock_offset_us for n in b.nodes]
+
+    def test_run_for_advances_clock(self):
+        c = Cluster(ClusterConfig())
+        c.run_for(ms(5))
+        assert c.sim.now == pytest.approx(ms(5))
+
+    def test_tick_phase_randomised_per_node_when_staggered(self):
+        cfg = ClusterConfig(machine=MachineConfig(n_nodes=4), kernel=KernelConfig())
+        c = Cluster(cfg)
+        phases = {c.nodes[i].ticks.phase(0) for i in range(4)}
+        assert len(phases) == 4
+
+    def test_global_tick_alignment_with_sync(self):
+        cfg = ClusterConfig(
+            machine=MachineConfig(n_nodes=3),
+            kernel=KernelConfig.prototype(),
+            cosched=CoschedConfig(enabled=True, sync_clock=True),
+        )
+        c = Cluster(cfg)
+        t = 1_234_567.0
+        nexts = [n.ticks.next_boundary(0, t) for n in c.nodes]
+        # All nodes tick within the clock-sync residual of each other.
+        assert max(nexts) - min(nexts) <= 2 * c.switch.read_error_us + 1e-6

@@ -1,0 +1,66 @@
+"""Empirical overhead accounting: measured daemon consumption must match
+both the configured budget and the paper's published envelope."""
+
+import pytest
+
+from repro.config import ClusterConfig, MachineConfig, NoiseConfig
+from repro.daemons.catalog import standard_noise
+from repro.daemons.engine import install_noise
+from repro.machine import Cluster
+from repro.trace.analysis import overhead_report
+from repro.trace.recorder import TraceRecorder
+from repro.units import ms, s
+
+
+def run_quiet_node(noise, duration_us, seed=3):
+    trace = TraceRecorder(enabled=True, nodes=[0])
+    cluster = Cluster(
+        ClusterConfig(machine=MachineConfig(n_nodes=1, cpus_per_node=16), seed=seed),
+        trace=trace,
+    )
+    install_noise(cluster, noise)
+    cluster.run_for(duration_us)
+    return trace
+
+
+class TestOverheadReport:
+    def test_measured_total_matches_configured_budget(self):
+        """A 60 s observation of an idle node: the trace-measured daemon
+        fraction agrees with the catalog's analytic budget."""
+        noise = standard_noise(include_cron=False)
+        duration = s(60)
+        trace = run_quiet_node(noise, duration)
+        rep = overhead_report(trace, node=0, t0=0.0, t1=duration, n_cpus=16)
+        configured = noise.total_cpu_fraction(16)
+        assert rep.per_cpu_fraction == pytest.approx(configured, rel=0.5)
+
+    def test_measured_inside_paper_envelope(self):
+        """Paper: 0.2%–1.1% of each CPU (daemons + ticks; ticks are free
+        on an idle node, so compare against the daemon share)."""
+        noise = standard_noise(include_cron=False)
+        trace = run_quiet_node(noise, s(60))
+        rep = overhead_report(trace, node=0, t0=0.0, t1=s(60), n_cpus=16)
+        tick_share = 18.0 / ms(10)  # per-CPU tick cost on a busy node
+        assert 0.002 <= rep.per_cpu_fraction + tick_share <= 0.011
+
+    def test_per_daemon_fractions(self):
+        noise = standard_noise(include_cron=False)
+        trace = run_quiet_node(noise, s(60))
+        rep = overhead_report(trace, node=0, t0=0.0, t1=s(60), n_cpus=16)
+        # Fast periodic daemons must appear with roughly their share.
+        mld_cfg = noise.get("mld").mean_service_us() / noise.get("mld").period_us
+        assert rep.daemon_fraction("mld") == pytest.approx(mld_cfg, rel=0.5)
+        assert rep.top(3)  # something to report
+
+    def test_interrupt_instances_folded(self):
+        noise = standard_noise(include_cron=False)
+        trace = run_quiet_node(noise, s(10))
+        rep = overhead_report(trace, node=0, t0=0.0, t1=s(10), n_cpus=16)
+        names = set(rep.by_daemon)
+        assert "caddpin" in names
+        assert not any(n.startswith("caddpin.c") for n in names)
+
+    def test_empty_trace(self):
+        rep = overhead_report(TraceRecorder(), node=0, t0=0.0, t1=s(1), n_cpus=16)
+        assert rep.per_cpu_fraction == 0.0
+        assert rep.total_overhead_us == 0.0

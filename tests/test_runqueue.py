@@ -1,0 +1,175 @@
+"""Run queues: dispatch order, lazy removal, steal filtering."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.kernel.runqueue import RunQueue
+from repro.kernel.thread import Thread
+
+
+def make_thread(priority, name="t", allow_steal=True):
+    return Thread(
+        None, name=name, priority=priority, node_id=0, affinity_cpu=0, allow_steal=allow_steal
+    )
+
+
+class TestBasics:
+    def test_empty(self):
+        q = RunQueue()
+        assert len(q) == 0
+        assert not q
+        assert q.pop() is None
+        assert q.best_priority() is None
+        assert q.peek() is None
+
+    def test_push_pop(self):
+        q = RunQueue()
+        t = make_thread(60)
+        q.push(t)
+        assert len(q) == 1
+        assert q.pop() is t
+        assert len(q) == 0
+
+    def test_pop_clears_entry(self):
+        q = RunQueue()
+        t = make_thread(60)
+        q.push(t)
+        q.pop()
+        assert t.rq_entry is None
+
+    def test_lower_priority_value_pops_first(self):
+        q = RunQueue()
+        lo, hi = make_thread(100), make_thread(30)
+        q.push(lo)
+        q.push(hi)
+        assert q.pop() is hi
+        assert q.pop() is lo
+
+    def test_fifo_among_equals(self):
+        q = RunQueue()
+        ts = [make_thread(60, name=f"t{i}") for i in range(5)]
+        for t in ts:
+            q.push(t)
+        assert [q.pop() for _ in range(5)] == ts
+
+    def test_double_push_raises(self):
+        q = RunQueue()
+        t = make_thread(60)
+        q.push(t)
+        with pytest.raises(RuntimeError):
+            q.push(t)
+
+    def test_best_priority(self):
+        q = RunQueue()
+        q.push(make_thread(90))
+        q.push(make_thread(56))
+        assert q.best_priority() == 56
+
+
+class TestRemoval:
+    def test_remove_middle(self):
+        q = RunQueue()
+        a, b, c = make_thread(60), make_thread(60), make_thread(60)
+        for t in (a, b, c):
+            q.push(t)
+        q.remove(b)
+        assert len(q) == 2
+        assert q.pop() is a
+        assert q.pop() is c
+
+    def test_remove_not_queued_raises(self):
+        q = RunQueue()
+        with pytest.raises(RuntimeError):
+            q.remove(make_thread(60))
+
+    def test_remove_then_repush_goes_to_back(self):
+        q = RunQueue()
+        a, b = make_thread(60), make_thread(60)
+        q.push(a)
+        q.push(b)
+        q.remove(a)
+        q.push(a)
+        assert q.pop() is b
+        assert q.pop() is a
+
+    def test_reprioritise_via_remove_push(self):
+        q = RunQueue()
+        a, b = make_thread(60), make_thread(60)
+        q.push(a)
+        q.push(b)
+        q.remove(b)
+        b.priority = 30
+        q.push(b)
+        assert q.pop() is b
+
+
+class TestStealable:
+    def test_pop_stealable_skips_bound(self):
+        q = RunQueue()
+        bound = make_thread(30, allow_steal=False)
+        loose = make_thread(60, allow_steal=True)
+        q.push(bound)
+        q.push(loose)
+        assert q.best_stealable_priority() == 60
+        assert q.pop_stealable() is loose
+        assert len(q) == 1
+
+    def test_pop_stealable_none_when_all_bound(self):
+        q = RunQueue()
+        q.push(make_thread(30, allow_steal=False))
+        assert q.pop_stealable() is None
+        assert q.best_stealable_priority() is None
+
+    def test_pop_stealable_best_first(self):
+        q = RunQueue()
+        worse = make_thread(90)
+        better = make_thread(56)
+        q.push(worse)
+        q.push(better)
+        assert q.pop_stealable() is better
+
+    def test_threads_iterates_live(self):
+        q = RunQueue()
+        a, b = make_thread(60), make_thread(70)
+        q.push(a)
+        q.push(b)
+        q.remove(a)
+        assert list(q.threads()) == [b]
+
+
+class TestPropertyOrder:
+    @given(st.lists(st.integers(min_value=0, max_value=127), min_size=1, max_size=50))
+    def test_pop_order_is_stable_priority_sort(self, priorities):
+        q = RunQueue()
+        threads = [make_thread(p, name=str(i)) for i, p in enumerate(priorities)]
+        for t in threads:
+            q.push(t)
+        popped = []
+        while q:
+            popped.append(q.pop())
+        keys = [(t.priority, threads.index(t)) for t in popped]
+        assert keys == sorted(keys)
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(min_value=0, max_value=127), st.booleans()),
+            min_size=1,
+            max_size=40,
+        ),
+        st.sets(st.integers(min_value=0, max_value=39)),
+    )
+    def test_removal_never_corrupts_count(self, specs, to_remove):
+        q = RunQueue()
+        threads = [make_thread(p, allow_steal=s) for p, s in specs]
+        for t in threads:
+            q.push(t)
+        removed = 0
+        for idx in to_remove:
+            if idx < len(threads):
+                q.remove(threads[idx])
+                removed += 1
+        assert len(q) == len(threads) - removed
+        drained = 0
+        while q.pop() is not None:
+            drained += 1
+        assert drained == len(threads) - removed

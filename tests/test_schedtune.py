@@ -1,0 +1,104 @@
+"""The schedtune option surface and KernelConfig presets."""
+
+import pytest
+
+from repro.config import KernelConfig
+from repro.kernel.schedtune import Schedtune
+from repro.units import ms
+
+
+class TestSchedtune:
+    def test_set_and_commit(self):
+        st = Schedtune()
+        st.set("big_tick_multiplier", 25)
+        st.set("tick_phase", "aligned")
+        cfg = st.commit()
+        assert cfg.big_tick_multiplier == 25
+        assert cfg.tick_phase == "aligned"
+
+    def test_unknown_option_rejected(self):
+        with pytest.raises(KeyError):
+            Schedtune().set("no_such_option", 1)
+
+    def test_get_staged_then_base(self):
+        st = Schedtune()
+        assert st.get("big_tick_multiplier") == 1
+        st.set("big_tick_multiplier", 10)
+        assert st.get("big_tick_multiplier") == 10
+
+    def test_get_unknown_raises(self):
+        with pytest.raises(KeyError):
+            Schedtune().get("bogus")
+
+    def test_commit_validates_values(self):
+        st = Schedtune()
+        st.set("big_tick_multiplier", 0)
+        with pytest.raises(ValueError):
+            st.commit()
+
+    def test_reset_clears_pending(self):
+        st = Schedtune()
+        st.set("big_tick_multiplier", 25)
+        st.reset()
+        assert st.commit() == KernelConfig()
+
+    def test_set_many(self):
+        st = Schedtune()
+        st.set_many({"realtime_scheduling": True, "fix_multi_ipi": True})
+        cfg = st.commit()
+        assert cfg.realtime_scheduling and cfg.fix_multi_ipi
+
+    def test_describe_paper_options(self):
+        for opt in Schedtune.paper_options():
+            assert Schedtune.describe(opt)
+        assert Schedtune.describe("context_switch_us") == ""
+
+    def test_base_config_preserved(self):
+        base = KernelConfig(tick_cost_us=99.0)
+        st = Schedtune(base)
+        st.set("big_tick_multiplier", 5)
+        assert st.commit().tick_cost_us == 99.0
+
+
+class TestKernelConfigPresets:
+    def test_vanilla_defaults(self):
+        v = KernelConfig.vanilla()
+        assert v.big_tick_multiplier == 1
+        assert v.tick_phase == "staggered"
+        assert not v.realtime_scheduling
+        assert not v.daemons_global_queue
+
+    def test_prototype_flips_everything(self):
+        p = KernelConfig.prototype()
+        assert p.big_tick_multiplier == 25
+        assert p.tick_phase == "aligned"
+        assert p.align_ticks_to_global_time
+        assert p.realtime_scheduling
+        assert p.fix_reverse_preemption
+        assert p.fix_multi_ipi
+        assert p.daemons_global_queue
+
+    def test_prototype_physical_tick(self):
+        p = KernelConfig.prototype()
+        assert p.physical_tick_period_us == pytest.approx(ms(250))
+        assert p.physical_tick_cost_us > p.tick_cost_us
+
+    def test_vanilla_physical_cost_is_base(self):
+        v = KernelConfig.vanilla()
+        assert v.physical_tick_cost_us == v.tick_cost_us
+
+    def test_with_options_returns_new(self):
+        v = KernelConfig.vanilla()
+        w = v.with_options(big_tick_multiplier=2)
+        assert v.big_tick_multiplier == 1
+        assert w.big_tick_multiplier == 2
+
+    def test_invalid_values_raise(self):
+        with pytest.raises(ValueError):
+            KernelConfig(big_tick_multiplier=0)
+        with pytest.raises(ValueError):
+            KernelConfig(tick_phase="diagonal")
+        with pytest.raises(ValueError):
+            KernelConfig(global_queue_penalty=2.0)
+        with pytest.raises(ValueError):
+            KernelConfig(tick_period_us=0.0)

@@ -1,0 +1,257 @@
+"""Cross-CPU preemption noticing: tick delay, IPIs, the paper's two fixes.
+
+These tests pin the paper's §3 numbers: without the real-time scheduling
+option a cross-CPU preemption waits for the target's next timer tick (up
+to 10 ms); with it, an IPI lands in tenths of a millisecond; stock AIX
+would not IPI on reverse preemption and kept only one IPI in flight.
+"""
+
+import pytest
+
+from repro.config import KernelConfig
+from repro.kernel.thread import Block, Compute, ThreadState
+from repro.units import ms
+from tests.conftest import make_harness
+
+
+def kernel(**kw):
+    base = dict(context_switch_us=0.0, tick_cost_us=0.0)
+    base.update(kw)
+    return KernelConfig(**base)
+
+
+def wake_at(h, t, thread, value=None):
+    h.sim.schedule_at(t, h.sched.wake, thread, value)
+
+
+class TestTickNoticedPreemption:
+    def _setup(self, h):
+        """CPU 0 busy with a priority-60 hog; a priority-30 thread becomes
+        ready mid-tick-interval via an external wake."""
+        h.spawn(h.worker("hog", [ms(50)]), priority=60, cpu=0)
+
+        def vip():
+            yield Block()
+            yield Compute(10.0)
+            h.mark("vip")
+
+        t = h.spawn(vip(), priority=30, cpu=0, allow_steal=False)
+        return t
+
+    def test_vanilla_waits_for_next_tick(self):
+        h = make_harness(n_cpus=1, kernel=kernel())
+        t = self._setup(h)
+        wake_at(h, 12_000.0, t)  # mid-interval; next boundary at 20 ms
+        h.run(ms(100))
+        (when,) = h.times("vip")
+        assert when == pytest.approx(ms(20) + 10.0)
+
+    def test_realtime_ipi_is_fast(self):
+        h = make_harness(n_cpus=1, kernel=kernel(realtime_scheduling=True))
+        t = self._setup(h)
+        wake_at(h, 12_000.0, t)
+        h.run(ms(100))
+        (when,) = h.times("vip")
+        assert when == pytest.approx(12_000.0 + h.config.ipi_latency_us + 10.0)
+
+    def test_wake_on_boundary_preempts_immediately(self):
+        """Quantised wakeups are processed in the target CPU's tick context."""
+        h = make_harness(n_cpus=1, kernel=kernel())
+        t = self._setup(h)
+        wake_at(h, ms(20), t)  # exactly a boundary
+        h.run(ms(100))
+        (when,) = h.times("vip")
+        assert when == pytest.approx(ms(20) + 10.0)
+
+
+class TestReversePreemption:
+    def _setup(self, h):
+        """A 30 hog runs on CPU 0 while a 60 thread waits; lowering the
+        hog's priority to 90 should hand the CPU over ("reverse
+        pre-emption")."""
+        hog = h.spawn(h.worker("hog", [ms(50)]), priority=30, cpu=0)
+
+        def waiter():
+            yield Compute(10.0)
+            h.mark("waiter")
+
+        h.spawn(waiter(), priority=60, cpu=0, allow_steal=False)
+        return hog
+
+    def test_without_fix_waits_for_tick(self):
+        h = make_harness(n_cpus=1, kernel=kernel(realtime_scheduling=True))
+        hog = self._setup(h)
+        h.sim.schedule_at(12_000.0, h.sched.set_priority, hog, 90)
+        h.run(ms(100))
+        (when,) = h.times("waiter")
+        assert when == pytest.approx(ms(20) + 10.0)
+
+    def test_with_fix_ipis(self):
+        h = make_harness(
+            n_cpus=1,
+            kernel=kernel(realtime_scheduling=True, fix_reverse_preemption=True),
+        )
+        hog = self._setup(h)
+        h.sim.schedule_at(12_000.0, h.sched.set_priority, hog, 90)
+        h.run(ms(100))
+        (when,) = h.times("waiter")
+        assert when == pytest.approx(12_000.0 + h.config.ipi_latency_us + 10.0)
+
+    def test_fix_without_realtime_still_waits(self):
+        """The reverse-preemption fix rides on the RT option being active."""
+        h = make_harness(
+            n_cpus=1,
+            kernel=kernel(realtime_scheduling=False, fix_reverse_preemption=True),
+        )
+        hog = self._setup(h)
+        h.sim.schedule_at(12_000.0, h.sched.set_priority, hog, 90)
+        h.run(ms(100))
+        (when,) = h.times("waiter")
+        assert when == pytest.approx(ms(20) + 10.0)
+
+
+class TestMultiIpi:
+    def _setup_two(self, h):
+        """Two busy CPUs; two better-priority threads wake simultaneously."""
+        h.spawn(h.worker("hog0", [ms(50)]), priority=60, cpu=0)
+        h.spawn(h.worker("hog1", [ms(50)]), priority=60, cpu=1)
+        vips = []
+        for i in range(2):
+            def vip(i=i):
+                yield Block()
+                yield Compute(10.0)
+                h.mark(f"vip{i}")
+
+            vips.append(h.spawn(vip(), priority=30, cpu=i, allow_steal=False))
+        return vips
+
+    def test_stock_single_ipi_serialises(self):
+        h = make_harness(n_cpus=2, kernel=kernel(realtime_scheduling=True))
+        vips = self._setup_two(h)
+        for v in vips:
+            wake_at(h, 12_000.0, v)
+        h.run(ms(100))
+        t0 = h.times("vip0")[0]
+        t1 = h.times("vip1")[0]
+        # First preemption via IPI, second suppressed -> waits for a tick.
+        assert min(t0, t1) == pytest.approx(12_000.0 + h.config.ipi_latency_us + 10.0)
+        assert max(t0, t1) > ms(19)
+        assert h.sched.ipis_suppressed >= 1
+
+    def test_fixed_multi_ipi_parallel(self):
+        h = make_harness(
+            n_cpus=2, kernel=kernel(realtime_scheduling=True, fix_multi_ipi=True)
+        )
+        vips = self._setup_two(h)
+        for v in vips:
+            wake_at(h, 12_000.0, v)
+        h.run(ms(100))
+        expected = 12_000.0 + h.config.ipi_latency_us + 10.0
+        assert h.times("vip0")[0] == pytest.approx(expected)
+        assert h.times("vip1")[0] == pytest.approx(expected)
+        assert h.sched.ipis_suppressed == 0
+        assert h.sched.ipis_sent == 2
+
+
+class TestPreemptedWorkConservation:
+    def test_preempted_thread_resumes_with_remaining_work(self):
+        h = make_harness(n_cpus=1, kernel=kernel(realtime_scheduling=True))
+        h.spawn(h.worker("victim", [ms(30)]), priority=60, cpu=0)
+
+        def vip():
+            yield Block()
+            yield Compute(ms(5))
+            h.mark("vip")
+
+        t = h.spawn(vip(), priority=30, cpu=0, allow_steal=False)
+        wake_at(h, ms(10), t)
+        h.run(ms(100))
+        # Victim: 30 ms of work + the 5 ms it sat preempted + the IPI
+        # handler cost (it keeps running during the IPI's flight time).
+        (when,) = h.times("victim")
+        assert when == pytest.approx(ms(35) + h.config.ipi_cost_us, abs=1.0)
+
+    def test_preemption_counts_recorded(self):
+        h = make_harness(n_cpus=1, kernel=kernel(realtime_scheduling=True))
+        victim = h.spawn(h.worker("victim", [ms(30)]), priority=60, cpu=0)
+
+        def vip():
+            yield Block()
+            yield Compute(ms(1))
+
+        t = h.spawn(vip(), priority=30, cpu=0, allow_steal=False)
+        wake_at(h, ms(10), t)
+        h.run(ms(100))
+        assert victim.stats.preemptions == 1
+        assert victim.stats.dispatches == 2
+
+
+class TestHardwareInterrupts:
+    def test_hardware_thread_preempts_immediately(self):
+        h = make_harness(n_cpus=1, kernel=kernel())
+        h.spawn(h.worker("hog", [ms(50)]), priority=60, cpu=0)
+
+        def handler():
+            yield Block()
+            yield Compute(20.0)
+            h.mark("irq")
+
+        t = h.spawn(handler(), priority=2, cpu=0, allow_steal=False, hardware=True)
+        wake_at(h, 12_345.0, t)
+        h.run(ms(100))
+        assert h.times("irq") == [pytest.approx(12_365.0)]
+
+
+class TestGlobalQueue:
+    def test_global_queue_served_by_any_cpu(self):
+        h = make_harness(n_cpus=2, kernel=kernel(daemons_global_queue=True))
+        h.spawn(h.worker("busy", [ms(5)]), cpu=0)
+
+        def d():
+            yield Compute(100.0)
+            h.mark("daemon")
+
+        h.spawn(d(), priority=56, cpu=0, use_global_queue=True)
+        h.run(ms(10))
+        # CPU 1 idle: the globally-queued daemon runs there at once.
+        assert h.times("daemon") == [100.0]
+
+    def test_global_queue_preempts_worst_cpu(self):
+        h = make_harness(
+            n_cpus=2,
+            kernel=kernel(daemons_global_queue=True, realtime_scheduling=True),
+        )
+        h.spawn(h.worker("p50", [ms(50)]), priority=50, cpu=0)
+        h.spawn(h.worker("p90", [ms(50)]), priority=90, cpu=1)
+
+        def d():
+            yield Block()
+            yield Compute(100.0)
+            h.mark("daemon")
+
+        t = h.spawn(d(), priority=56, cpu=0, use_global_queue=True)
+        wake_at(h, ms(1), t)
+        h.run(ms(100))
+        # Preempts the priority-90 occupant (CPU 1), not the priority-50.
+        (when,) = h.times("daemon")
+        assert when == pytest.approx(ms(1) + h.config.ipi_latency_us + 100.0)
+        p50_done = h.times("p50")[0]
+        assert p50_done == pytest.approx(ms(50))
+
+    def test_global_queue_flag_ignored_when_disabled(self):
+        h = make_harness(n_cpus=2, kernel=kernel(daemons_global_queue=False))
+        busy = h.spawn(h.worker("busy", [ms(5)]), cpu=0)
+
+        def d():
+            yield Compute(100.0)
+            h.mark("daemon")
+
+        # use_global_queue requested but policy off: queued to home CPU 0,
+        # where (better priority, spawn lands in tick context) it preempts
+        # the 60-priority occupant instead of using the global queue; the
+        # evicted thread migrates to the idle CPU 1 and loses no time.
+        h.spawn(d(), priority=56, cpu=0, use_global_queue=True, allow_steal=False)
+        h.run(ms(10))
+        assert h.times("daemon") == [pytest.approx(100.0)]
+        assert h.times("busy") == [pytest.approx(ms(5))]
+        assert h.sched.global_queue.best_priority() is None

@@ -1,0 +1,195 @@
+"""SpinWait semantics: poll-mode waiting, preemption of spinners,
+equal-priority rotation against timer threads."""
+
+import pytest
+
+from repro.config import KernelConfig
+from repro.kernel.thread import Block, Compute, Sleep, SpinWait, ThreadState
+from repro.units import ms
+from tests.conftest import make_harness
+
+
+def kernel(**kw):
+    base = dict(context_switch_us=0.0, tick_cost_us=0.0)
+    base.update(kw)
+    return KernelConfig(**base)
+
+
+class SpinChannel:
+    """Test double for the MPI mailbox: deliver(value) satisfies a spin."""
+
+    def __init__(self, harness):
+        self.h = harness
+        self.value = None
+        self.waiter = None
+
+    def register(self, thread):
+        if self.value is not None:
+            v, self.value = self.value, None
+            return v
+        self.waiter = thread
+        return None
+
+    def deliver(self, value):
+        if self.waiter is not None:
+            w, self.waiter = self.waiter, None
+            self.h.sched.spin_deliver(w, value)
+        else:
+            self.value = value
+
+
+class TestSpinBasics:
+    def test_spin_already_satisfied_short_circuits(self):
+        h = make_harness(kernel=kernel())
+        ch = SpinChannel(h)
+        ch.deliver("x")
+
+        def body():
+            got = yield SpinWait(ch.register)
+            h.mark(f"got:{got}")
+
+        h.spawn(body())
+        h.run(100.0)
+        assert h.log == [(0.0, "got:x")]
+
+    def test_spinner_occupies_cpu(self):
+        h = make_harness(n_cpus=1, kernel=kernel())
+        ch = SpinChannel(h)
+
+        def spinner():
+            got = yield SpinWait(ch.register)
+            h.mark(f"got:{got}")
+
+        t = h.spawn(spinner())
+        h.spawn(h.worker("other", [50.0]), cpu=0, allow_steal=False)
+        h.run(ms(5))
+        # The spinner holds the CPU; equal-priority work waits.
+        assert t.state is ThreadState.RUNNING
+        assert h.times("other") == []
+        h.sim.schedule_at(ms(5), ch.deliver, "v")
+        h.run(ms(6))
+        assert h.log[0][1] == "got:v"
+        assert h.times("other") == [pytest.approx(ms(5) + 50.0)]
+
+    def test_spin_delivery_advances_immediately(self):
+        h = make_harness(kernel=kernel())
+        ch = SpinChannel(h)
+
+        def body():
+            got = yield SpinWait(ch.register)
+            yield Compute(10.0)
+            h.mark(f"done:{got}")
+
+        h.spawn(body())
+        h.sim.schedule_at(500.0, ch.deliver, 42)
+        h.run(1000.0)
+        assert h.log == [(510.0, "done:42")]
+
+    def test_spin_time_counted_as_cpu_time(self):
+        h = make_harness(kernel=kernel())
+        ch = SpinChannel(h)
+
+        def body():
+            yield SpinWait(ch.register)
+
+        t = h.spawn(body())
+        h.sim.schedule_at(700.0, ch.deliver, 1)
+        h.run(1000.0)
+        assert t.stats.cpu_time_us == pytest.approx(700.0)
+
+
+class TestSpinnerPreemption:
+    def test_daemon_preempts_spinner(self):
+        h = make_harness(n_cpus=1, kernel=kernel())
+        ch = SpinChannel(h)
+
+        def spinner():
+            got = yield SpinWait(ch.register)
+            yield Compute(10.0)
+            h.mark("spin-done")
+
+        t = h.spawn(spinner(), priority=60)
+
+        def daemon():
+            yield Sleep(ms(15))
+            yield Compute(200.0)
+            h.mark("daemon-done")
+
+        h.spawn(daemon(), priority=56, cpu=0, allow_steal=False)
+        h.run(ms(60))
+        # Daemon wakes at the 20ms boundary (quantised) and preempts the
+        # spinner immediately (same-CPU tick context).
+        assert h.times("daemon-done") == [pytest.approx(ms(20) + 200.0)]
+        assert t.stats.preemptions == 1
+
+    def test_message_arriving_while_preempted_is_kept(self):
+        h = make_harness(n_cpus=1, kernel=kernel())
+        ch = SpinChannel(h)
+
+        def spinner():
+            got = yield SpinWait(ch.register)
+            yield Compute(10.0)
+            h.mark(f"got:{got}")
+
+        h.spawn(spinner(), priority=60)
+
+        def daemon():
+            yield Sleep(ms(15))
+            yield Compute(ms(5))
+
+        h.spawn(daemon(), priority=56, cpu=0, allow_steal=False)
+        # Deliver while the spinner is preempted (daemon runs 20-25ms).
+        h.sim.schedule_at(ms(22), ch.deliver, "late")
+        h.run(ms(60))
+        # Spinner resumes at 25ms, immediately consumes the value.
+        assert h.log[-1][1] == "got:late"
+        assert h.log[-1][0] == pytest.approx(ms(25) + 10.0)
+
+    def test_equal_priority_timer_thread_rotation(self):
+        """A timer thread at equal priority steals the CPU from a spinner
+        at a tick boundary after a full timeslice — the MPI progress
+        engine interference mechanism."""
+        h = make_harness(n_cpus=1, kernel=kernel())
+        ch = SpinChannel(h)
+
+        def spinner():
+            got = yield SpinWait(ch.register)
+            h.mark("spin-done")
+
+        spin_t = h.spawn(spinner(), priority=60)
+
+        def timer():
+            yield Sleep(ms(35))
+            yield Compute(120.0)
+            h.mark("timer-ran")
+
+        h.spawn(timer(), priority=60, cpu=0, allow_steal=False)
+        h.run(ms(100))
+        # Timer wakes at the 40ms boundary; spinner held since t=0 -> rotate.
+        assert h.times("timer-ran") == [pytest.approx(ms(40) + 120.0)]
+        assert spin_t.stats.preemptions == 1
+
+
+class TestBlockModeContrast:
+    def test_blocking_wait_frees_cpu_for_daemon(self):
+        """With blocking waits a daemon slips into the gap for free —
+        why poll-mode waiting is essential to the pathology."""
+        h = make_harness(n_cpus=1, kernel=kernel())
+
+        def blocker():
+            got = yield Block()
+            yield Compute(10.0)
+            h.mark("woke")
+
+        t = h.spawn(blocker(), priority=60)
+
+        def daemon():
+            yield Sleep(ms(15))
+            yield Compute(200.0)
+            h.mark("daemon")
+
+        h.spawn(daemon(), priority=56, cpu=0, allow_steal=False)
+        h.sim.schedule_at(ms(30), h.sched.wake, t, "v")
+        h.run(ms(60))
+        assert h.times("daemon") == [pytest.approx(ms(20) + 200.0)]
+        assert h.times("woke") == [pytest.approx(ms(30) + 10.0)]

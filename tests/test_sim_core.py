@@ -1,0 +1,213 @@
+"""DES engine: ordering, cancellation, determinism."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim.core import EventPriority, SimulationError, Simulator
+
+
+class TestScheduling:
+    def test_clock_starts_at_zero(self):
+        assert Simulator().now == 0.0
+
+    def test_schedule_and_run(self):
+        sim = Simulator()
+        hits = []
+        sim.schedule(10.0, hits.append, "a")
+        sim.schedule(5.0, hits.append, "b")
+        sim.run()
+        assert hits == ["b", "a"]
+        assert sim.now == 10.0
+
+    def test_schedule_at_absolute(self):
+        sim = Simulator()
+        hits = []
+        sim.schedule_at(7.0, hits.append, 1)
+        sim.run()
+        assert sim.now == 7.0 and hits == [1]
+
+    def test_negative_delay_raises(self):
+        with pytest.raises(SimulationError):
+            Simulator().schedule(-1.0, lambda: None)
+
+    def test_schedule_in_past_raises(self):
+        sim = Simulator()
+        sim.schedule(10.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule_at(5.0, lambda: None)
+
+    def test_zero_delay_allowed(self):
+        sim = Simulator()
+        hits = []
+        sim.schedule(0.0, hits.append, 1)
+        sim.run()
+        assert hits == [1]
+
+    def test_callback_can_schedule_more(self):
+        sim = Simulator()
+        hits = []
+
+        def chain(k):
+            hits.append(k)
+            if k < 3:
+                sim.schedule(1.0, chain, k + 1)
+
+        sim.schedule(0.0, chain, 0)
+        sim.run()
+        assert hits == [0, 1, 2, 3]
+        assert sim.now == 3.0
+
+
+class TestOrdering:
+    def test_fifo_among_exact_ties(self):
+        sim = Simulator()
+        hits = []
+        for i in range(10):
+            sim.schedule(5.0, hits.append, i)
+        sim.run()
+        assert hits == list(range(10))
+
+    def test_priority_orders_same_instant(self):
+        sim = Simulator()
+        hits = []
+        sim.schedule(5.0, hits.append, "normal", priority=EventPriority.NORMAL)
+        sim.schedule(5.0, hits.append, "interrupt", priority=EventPriority.INTERRUPT)
+        sim.schedule(5.0, hits.append, "kernel", priority=EventPriority.KERNEL)
+        sim.schedule(5.0, hits.append, "message", priority=EventPriority.MESSAGE)
+        sim.run()
+        assert hits == ["interrupt", "message", "kernel", "normal"]
+
+    def test_interrupt_tier_is_lowest_value(self):
+        assert EventPriority.INTERRUPT < EventPriority.MESSAGE < EventPriority.KERNEL
+        assert EventPriority.KERNEL < EventPriority.NORMAL < EventPriority.LATE
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        sim = Simulator()
+        hits = []
+        ev = sim.schedule(5.0, hits.append, 1)
+        ev.cancel()
+        sim.run()
+        assert hits == []
+
+    def test_cancel_is_idempotent(self):
+        sim = Simulator()
+        ev = sim.schedule(5.0, lambda: None)
+        ev.cancel()
+        ev.cancel()
+        assert not ev.active
+
+    def test_cancel_after_fire_is_noop(self):
+        sim = Simulator()
+        hits = []
+        ev = sim.schedule(1.0, hits.append, 1)
+        sim.run()
+        ev.cancel()
+        assert hits == [1]
+
+    def test_active_flag(self):
+        sim = Simulator()
+        ev = sim.schedule(5.0, lambda: None)
+        assert ev.active
+        ev.cancel()
+        assert not ev.active
+
+    def test_pending_counts_only_live(self):
+        sim = Simulator()
+        e1 = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        assert sim.pending == 2
+        e1.cancel()
+        assert sim.pending == 1
+
+
+class TestRunUntil:
+    def test_runs_only_due_events(self):
+        sim = Simulator()
+        hits = []
+        sim.schedule(5.0, hits.append, "early")
+        sim.schedule(15.0, hits.append, "late")
+        sim.run_until(10.0)
+        assert hits == ["early"]
+        assert sim.now == 10.0
+
+    def test_event_exactly_at_bound_runs(self):
+        sim = Simulator()
+        hits = []
+        sim.schedule(10.0, hits.append, 1)
+        sim.run_until(10.0)
+        assert hits == [1]
+
+    def test_run_until_past_raises(self):
+        sim = Simulator()
+        sim.run_until(5.0)
+        with pytest.raises(SimulationError):
+            sim.run_until(1.0)
+
+    def test_max_events_guard(self):
+        sim = Simulator()
+
+        def storm():
+            sim.schedule(0.0, storm)
+
+        sim.schedule(0.0, storm)
+        with pytest.raises(SimulationError):
+            sim.run_until(1.0, max_events=100)
+
+    def test_returns_processed_count(self):
+        sim = Simulator()
+        for i in range(5):
+            sim.schedule(float(i), lambda: None)
+        assert sim.run_until(10.0) == 5
+
+    def test_events_processed_counter(self):
+        sim = Simulator()
+        for i in range(3):
+            sim.schedule(1.0, lambda: None)
+        sim.run()
+        assert sim.events_processed == 3
+
+
+class TestStep:
+    def test_step_returns_false_when_empty(self):
+        assert Simulator().step() is False
+
+    def test_step_processes_one(self):
+        sim = Simulator()
+        hits = []
+        sim.schedule(1.0, hits.append, 1)
+        sim.schedule(2.0, hits.append, 2)
+        assert sim.step() is True
+        assert hits == [1]
+
+
+class TestPropertyOrdering:
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+                st.integers(min_value=0, max_value=4),
+            ),
+            min_size=1,
+            max_size=60,
+        )
+    )
+    def test_events_fire_in_time_then_priority_then_fifo_order(self, specs):
+        sim = Simulator()
+        fired = []
+        for idx, (t, prio) in enumerate(specs):
+            sim.schedule_at(t, lambda i=idx: fired.append(i), priority=prio)
+        sim.run()
+        keys = [(specs[i][0], specs[i][1], i) for i in fired]
+        assert keys == sorted(keys)
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=1e6, allow_nan=False), min_size=1, max_size=50))
+    def test_clock_is_monotone(self, times):
+        sim = Simulator()
+        observed = []
+        for t in times:
+            sim.schedule_at(t, lambda: observed.append(sim.now))
+        sim.run()
+        assert observed == sorted(observed)

@@ -1,0 +1,92 @@
+"""Statistics helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.stats import (
+    bootstrap_ci,
+    slowdown_profile,
+    summarize,
+    variability,
+)
+
+
+class TestSummarize:
+    def test_basic_profile(self):
+        s = summarize([1.0, 2.0, 3.0, 4.0, 5.0])
+        assert s.n == 5
+        assert s.mean == 3.0
+        assert s.median == 3.0
+        assert s.minimum == 1.0 and s.maximum == 5.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_rows_ordering(self):
+        s = summarize([1.0, 2.0])
+        names = [n for n, _ in s.rows()]
+        assert names == ["min", "p25", "median", "p75", "p90", "p99", "max", "mean"]
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=1e6, allow_nan=False), min_size=1, max_size=100))
+    def test_quantiles_monotone(self, xs):
+        s = summarize(xs)
+        assert s.minimum <= s.p25 <= s.median <= s.p75 <= s.p90 <= s.p99 <= s.maximum
+
+
+class TestBootstrap:
+    def test_ci_contains_true_mean_for_clean_data(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(100.0, 5.0, size=500)
+        lo, hi = bootstrap_ci(x, seed=1)
+        assert lo < 100.0 < hi
+        assert hi - lo < 3.0
+
+    def test_custom_statistic(self):
+        lo, hi = bootstrap_ci([1, 2, 3, 4, 100.0], statistic=np.median, seed=2)
+        assert lo >= 1.0 and hi <= 100.0
+
+    def test_deterministic_given_seed(self):
+        x = [1.0, 5.0, 9.0, 2.0, 8.0]
+        assert bootstrap_ci(x, seed=3) == bootstrap_ci(x, seed=3)
+
+    def test_validations(self):
+        with pytest.raises(ValueError):
+            bootstrap_ci([1.0])
+        with pytest.raises(ValueError):
+            bootstrap_ci([1.0, 2.0], confidence=1.5)
+
+
+class TestVariability:
+    def test_uniform_sample_not_heavy_tailed(self):
+        v = variability(np.full(200, 100.0))
+        assert v.cv == 0.0
+        assert v.mean_over_median == pytest.approx(1.0)
+        assert not v.is_heavy_tailed
+
+    def test_outlier_sample_heavy_tailed(self):
+        x = np.full(200, 100.0)
+        x[0] = 50_000.0
+        v = variability(x)
+        assert v.mean_over_median > 1.5
+        assert v.top1pct_share > 0.5
+        assert v.is_heavy_tailed
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            variability([])
+
+
+class TestSlowdownProfile:
+    def test_tail_only_treatment(self):
+        rng = np.random.default_rng(5)
+        base = np.concatenate([rng.normal(100, 2, 975), rng.normal(5000, 100, 25)])
+        treated = rng.normal(100, 2, 1000)
+        prof = dict(slowdown_profile(base, treated))
+        assert prof[0.5] == pytest.approx(1.0, abs=0.1)
+        assert prof[0.99] > 5.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            slowdown_profile([], [1.0])

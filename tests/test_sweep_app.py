@@ -1,0 +1,121 @@
+"""Wavefront sweep proxy: grid mapping, pipelining, completion."""
+
+import numpy as np
+import pytest
+
+from repro.apps.sweep import SweepConfig, grid_shape, run_sweep
+from repro.config import ClusterConfig, MachineConfig, MpiConfig, NoiseConfig
+from repro.system import System
+from repro.units import ms, s, us
+
+
+def quiet_system(n_nodes=2, cpn=8, seed=0):
+    return System(
+        ClusterConfig(
+            machine=MachineConfig(n_nodes=n_nodes, cpus_per_node=cpn),
+            mpi=MpiConfig(progress_threads_enabled=False),
+            noise=NoiseConfig(),
+            seed=seed,
+        )
+    )
+
+
+class TestGridShape:
+    @pytest.mark.parametrize(
+        "n,expected", [(16, (4, 4)), (12, (3, 4)), (8, (2, 4)), (7, (1, 7)), (36, (6, 6))]
+    )
+    def test_most_square(self, n, expected):
+        assert grid_shape(n) == expected
+
+    def test_product_preserved(self):
+        for n in range(1, 50):
+            px, py = grid_shape(n)
+            assert px * py == n
+
+
+class TestSweepConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SweepConfig(sweeps=0)
+        with pytest.raises(ValueError):
+            SweepConfig(planes=0)
+
+
+class TestSweepRun:
+    def test_completes_and_records(self):
+        res = run_sweep(quiet_system(), 16, 8, SweepConfig(sweeps=4, planes=5))
+        assert len(res.sweep_times_us) == 4
+        assert res.grid == (4, 4)
+        assert res.elapsed_us > 0
+
+    def test_all_four_directions(self):
+        """Sweeps alternate corners; 4+ sweeps exercise every direction."""
+        res = run_sweep(quiet_system(), 8, 8, SweepConfig(sweeps=8, planes=4))
+        assert len(res.sweep_times_us) == 8
+
+    def test_pipeline_scales_with_planes(self):
+        short = run_sweep(quiet_system(), 8, 8, SweepConfig(sweeps=2, planes=4))
+        long = run_sweep(quiet_system(), 8, 8, SweepConfig(sweeps=2, planes=16))
+        assert long.mean_sweep_us > short.mean_sweep_us
+
+    def test_sweep_time_near_ideal_when_quiet(self):
+        cfg = SweepConfig(sweeps=3, planes=10, block_compute_us=us(400))
+        res = run_sweep(quiet_system(), 16, 8, cfg)
+        ideal = res.ideal_sweep_us(per_hop_us=50.0)
+        assert res.mean_sweep_us >= ideal * 0.5
+        assert res.mean_sweep_us <= ideal * 3.0
+
+    def test_single_rank_degenerate(self):
+        res = run_sweep(quiet_system(n_nodes=1, cpn=2), 2, 2, SweepConfig(sweeps=2, planes=3))
+        assert len(res.sweep_times_us) == 2
+
+    def test_deterministic(self):
+        a = run_sweep(quiet_system(seed=3), 8, 8, SweepConfig(sweeps=3, planes=5))
+        b = run_sweep(quiet_system(seed=3), 8, 8, SweepConfig(sweeps=3, planes=5))
+        assert np.array_equal(a.sweep_times_us, b.sweep_times_us)
+
+
+class TestWaitModeAndSensitivity:
+    def test_block_mode_charges_wakeup_cost(self):
+        from repro.apps.aggregate_trace import AggregateTraceConfig, run_aggregate_trace
+        from repro.config import MpiConfig
+
+        def run(mode):
+            sysm = System(
+                ClusterConfig(
+                    machine=MachineConfig(n_nodes=2, cpus_per_node=8),
+                    mpi=MpiConfig(progress_threads_enabled=False, wait_mode=mode),
+                    noise=NoiseConfig(),
+                )
+            )
+            return run_aggregate_trace(
+                sysm, 16, 8, AggregateTraceConfig(calls_per_loop=40, compute_between_us=0.0)
+            ).mean_us
+
+        # Quiet machine: blocking's per-message wakeup tax makes it slower.
+        assert run("block") > run("poll")
+
+    def test_waitmode_experiment_smoke(self):
+        from repro.experiments.workloads import format_waitmode, run_waitmode
+
+        res = run_waitmode(n_ranks=16, tpn=8, calls=100, time_compression=60.0)
+        assert res.quiet_poll_advantage > 1.0  # poll wins on a quiet box
+        assert "MP_WAIT_MODE" in format_waitmode(res)
+
+    def test_sensitivity_experiment_smoke(self):
+        from repro.experiments.workloads import format_sensitivity, run_sensitivity
+
+        res = run_sensitivity(n_ranks=16, tpn=8, time_compression=60.0)
+        assert res.collective_slowdown > 1.0
+        assert res.wavefront_slowdown > 1.0
+        assert "sensitivity" in format_sensitivity(res)
+
+    def test_granularity_experiment_smoke(self):
+        from repro.experiments.workloads import format_granularity, run_granularity
+
+        res = run_granularity(
+            n_ranks=256, compute_grid=(1_000.0, 50_000.0), n_calls=60
+        )
+        assert res.vanilla_efficiency[0] <= 1.0
+        assert res.prototype_efficiency[-1] <= 1.05
+        assert "granularity" in format_granularity(res)

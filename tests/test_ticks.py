@@ -1,0 +1,172 @@
+"""Tick arithmetic: phases, boundary counting, cost folding."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import KernelConfig
+from repro.kernel.ticks import TickSchedule
+from repro.units import ms
+
+
+def sched(**kw):
+    defaults = dict(tick_cost_us=18.0)
+    defaults.update(kw)
+    return TickSchedule(KernelConfig(**defaults), n_cpus=4)
+
+
+class TestPhases:
+    def test_staggered_phases_differ(self):
+        ts = sched(tick_phase="staggered", stagger_offset_us=ms(1))
+        phases = [ts.phase(i) for i in range(4)]
+        assert len(set(phases)) == 4
+        assert phases[1] - phases[0] == pytest.approx(ms(1))
+
+    def test_aligned_phases_equal(self):
+        ts = sched(tick_phase="aligned")
+        assert len({ts.phase(i) for i in range(4)}) == 1
+
+    def test_node_phase_offsets_all_cpus(self):
+        ts = TickSchedule(KernelConfig(tick_phase="aligned"), 2, node_phase_us=3000.0)
+        assert ts.phase(0) == pytest.approx(3000.0)
+
+    def test_global_alignment_uses_clock_offset(self):
+        cfg = KernelConfig(tick_phase="aligned", align_ticks_to_global_time=True)
+        ts = TickSchedule(cfg, 2, node_phase_us=1234.0, clock_offset_us=3000.0)
+        # Local boundaries at multiples of the period land at global
+        # times k*P - offset.
+        assert ts.phase(0) == pytest.approx((-3000.0) % cfg.tick_period_us)
+
+    def test_global_alignment_two_nodes_same_boundaries_when_synced(self):
+        cfg = KernelConfig(tick_phase="aligned", align_ticks_to_global_time=True)
+        a = TickSchedule(cfg, 1, clock_offset_us=0.0)
+        b = TickSchedule(cfg, 1, clock_offset_us=0.0)
+        assert a.next_boundary(0, 12345.0) == b.next_boundary(0, 12345.0)
+
+
+class TestBoundaries:
+    def test_next_boundary_strictly_after(self):
+        ts = sched(tick_phase="aligned")
+        b = ts.next_boundary(0, 0.0)
+        assert b == pytest.approx(ms(10))
+        assert ts.next_boundary(0, b) == pytest.approx(ms(20))
+
+    def test_boundary_at_or_after_includes_exact(self):
+        ts = sched(tick_phase="aligned")
+        assert ts.boundary_at_or_after(0, ms(10)) == pytest.approx(ms(10))
+        assert ts.boundary_at_or_after(0, ms(10) + 1) == pytest.approx(ms(20))
+
+    def test_is_boundary(self):
+        ts = sched(tick_phase="aligned")
+        assert ts.is_boundary(0, ms(10))
+        assert not ts.is_boundary(0, ms(10) + 5.0)
+
+    def test_count_boundaries_inclusive(self):
+        ts = sched(tick_phase="aligned")
+        assert ts.boundaries_in(0, 0.0, ms(30)) == 3
+
+    def test_count_boundaries_exclusive_end(self):
+        ts = sched(tick_phase="aligned")
+        assert ts.boundaries_in(0, 0.0, ms(30), inclusive_end=False) == 2
+
+    def test_count_empty_interval(self):
+        ts = sched()
+        assert ts.boundaries_in(0, ms(5), ms(5)) == 0
+        assert ts.boundaries_in(0, ms(7), ms(5)) == 0
+
+    def test_big_tick_spreads_boundaries(self):
+        ts = TickSchedule(KernelConfig(big_tick_multiplier=25, tick_phase="aligned"), 1)
+        assert ts.period == pytest.approx(ms(250))
+        assert ts.boundaries_in(0, 0.0, ms(1000)) == 4
+
+    def test_quantize_wake_snaps_up(self):
+        ts = sched(tick_phase="aligned")
+        assert ts.quantize_wake(0, ms(3)) == pytest.approx(ms(10))
+        assert ts.quantize_wake(0, ms(10)) == pytest.approx(ms(10))
+
+
+class TestInflation:
+    def test_zero_work(self):
+        ts = sched()
+        assert ts.inflate(0, 123.0, 0.0) == 123.0
+
+    def test_work_within_one_tick_uninflated(self):
+        ts = sched(tick_phase="aligned")
+        # Start just after a boundary; 1 ms of work crosses nothing.
+        assert ts.inflate(0, ms(10) + 1.0, ms(1)) == pytest.approx(ms(11) + 1.0)
+
+    def test_work_crossing_one_tick_pays_cost(self):
+        ts = sched(tick_phase="aligned")
+        done = ts.inflate(0, ms(5), ms(8))  # crosses boundary at 10ms
+        assert done == pytest.approx(ms(13) + 18.0)
+
+    def test_cost_pushing_across_another_boundary(self):
+        cfg = KernelConfig(tick_cost_us=ms(2))  # absurd cost to force it
+        ts = TickSchedule(cfg, 1, node_phase_us=0.0)
+        # 9.5ms of work from t=0.5ms: naive end 10ms (1 tick, +2ms = 12ms),
+        # which stays before 20ms, so exactly one tick is paid.
+        done = ts.inflate(0, 500.0, 9_500.0)
+        assert done == pytest.approx(ms(12))
+
+    def test_zero_cost_fast_path(self):
+        ts = sched(tick_cost_us=0.0)
+        assert ts.inflate(0, 0.0, ms(35)) == pytest.approx(ms(35))
+
+    def test_consumed_work_inverse_of_inflate(self):
+        ts = sched(tick_phase="aligned")
+        start, work = ms(5), ms(25)
+        end = ts.inflate(0, start, work)
+        assert ts.consumed_work(0, start, end, work) == pytest.approx(work, abs=1e-6)
+
+    def test_consumed_work_partial(self):
+        ts = sched(tick_phase="aligned")
+        # Run from 5ms to 12ms: one boundary (10ms) strictly inside.
+        got = ts.consumed_work(0, ms(5), ms(12), run_work=ms(100))
+        assert got == pytest.approx(ms(7) - 18.0)
+
+    def test_consumed_work_clamped_nonnegative(self):
+        ts = sched()
+        assert ts.consumed_work(0, ms(5), ms(5), run_work=10.0) == 0.0
+
+    def test_consumed_work_clamped_to_run_work(self):
+        ts = sched(tick_cost_us=0.0)
+        assert ts.consumed_work(0, 0.0, ms(50), run_work=ms(10)) == pytest.approx(ms(10))
+
+
+class TestInflationProperties:
+    @settings(max_examples=200)
+    @given(
+        start=st.floats(min_value=0.0, max_value=1e7, allow_nan=False),
+        work=st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+        cost=st.floats(min_value=0.0, max_value=500.0, allow_nan=False),
+        mult=st.integers(min_value=1, max_value=25),
+        cpu=st.integers(min_value=0, max_value=3),
+    )
+    def test_inflate_consumed_roundtrip(self, start, work, cost, mult, cpu):
+        """inflate then consumed_work must return (almost) the same work."""
+        cfg = KernelConfig(tick_cost_us=cost, big_tick_multiplier=mult)
+        ts = TickSchedule(cfg, 4, node_phase_us=start % 77.7)
+        end = ts.inflate(cpu, start, work)
+        assert end >= start + work - 1e-6
+        got = ts.consumed_work(cpu, start, end, work)
+        # The boundary-at-endpoint convention may skip at most one tick.
+        assert got == pytest.approx(work, abs=cost + 1e-6)
+
+    @settings(max_examples=100)
+    @given(
+        t0=st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+        dt1=st.floats(min_value=0.0, max_value=1e5, allow_nan=False),
+        dt2=st.floats(min_value=0.0, max_value=1e5, allow_nan=False),
+    )
+    def test_boundary_count_additive(self, t0, dt1, dt2):
+        ts = sched(tick_phase="staggered")
+        whole = ts.boundaries_in(1, t0, t0 + dt1 + dt2)
+        split = ts.boundaries_in(1, t0, t0 + dt1) + ts.boundaries_in(1, t0 + dt1, t0 + dt1 + dt2)
+        assert whole == split
+
+    @settings(max_examples=100)
+    @given(t=st.floats(min_value=0.0, max_value=1e7, allow_nan=False))
+    def test_next_boundary_is_boundary_and_after(self, t):
+        ts = sched()
+        b = ts.next_boundary(2, t)
+        assert b > t
+        assert ts.is_boundary(2, b)

@@ -1,0 +1,29 @@
+"""Switch-clock synchronisation."""
+
+import numpy as np
+import pytest
+
+from repro.cosched.timesync import synchronize_node_clock
+from repro.net.switch import SwitchClock
+
+
+class TestTimesync:
+    def test_residual_bounded_by_read_error(self):
+        clk = SwitchClock(np.random.default_rng(0), read_error_us=2.0)
+        for raw in (-150_000.0, 0.0, 99_000.0):
+            resid = synchronize_node_clock(clk, raw)
+            assert abs(resid) <= 2.0
+
+    def test_raw_offset_discarded(self):
+        clk = SwitchClock(np.random.default_rng(1), read_error_us=0.0)
+        assert synchronize_node_clock(clk, raw_offset_us=123_456.0) == 0.0
+
+    def test_ntp_must_be_off(self):
+        clk = SwitchClock(np.random.default_rng(2))
+        with pytest.raises(RuntimeError, match="NTP"):
+            synchronize_node_clock(clk, 0.0, ntp_running=True)
+
+    def test_nonzero_global_now(self):
+        clk = SwitchClock(np.random.default_rng(3), read_error_us=1.0)
+        resid = synchronize_node_clock(clk, 50_000.0, global_now=1_000_000.0)
+        assert abs(resid) <= 1.0
