@@ -29,6 +29,9 @@ __all__ = [
     "CoschedConfig",
     "DaemonSpec",
     "NoiseConfig",
+    "NodeFaultSpec",
+    "CoschedFaultSpec",
+    "FaultConfig",
     "ClusterConfig",
     "PRIO_NORMAL",
     "PRIO_DAEMON_SYSTEM",
@@ -304,6 +307,10 @@ class CoschedConfig:
     #: CPU cost per priority-flip pass.
     flip_cost_us: float = us(40)
     align_to_second: bool = True
+    #: One-way latency of the task → pmd → co-scheduler control-pipe hop.
+    #: A config knob (not a module constant) so pipe-latency/loss fault
+    #: scenarios and tests can vary it.
+    pipe_latency_us: float = 250.0
     #: Synchronise node clocks from the switch clock register at startup.
     sync_clock: bool = True
     #: Paper §7 future work: only boost tasks that have declared (via the
@@ -318,6 +325,8 @@ class CoschedConfig:
             raise ValueError("duty_cycle must be in (0, 1]")
         if self.period_us <= 0:
             raise ValueError("period_us must be positive")
+        if self.pipe_latency_us < 0:
+            raise ValueError("pipe_latency_us must be >= 0")
         if not 0 <= self.favored_priority <= 127:
             raise ValueError("favored_priority out of range")
         if not 0 <= self.unfavored_priority <= 127:
@@ -452,6 +461,152 @@ class NoiseConfig:
 
 
 @dataclass(frozen=True)
+class NodeFaultSpec:
+    """One scheduled node-level fault.
+
+    ``crash`` freezes the whole node for ``duration_us`` (a kernel hang /
+    reboot window: every CPU is seized by a top-priority hog, so resident
+    threads make zero progress while the fabric keeps delivering into
+    mailboxes).  ``slowdown`` steals ``fraction`` of every CPU with a
+    duty-cycled hog — thermal throttling, a runaway RAS sweep, or a
+    memory-scrubber storm.
+    """
+
+    node: int
+    at_us: float
+    duration_us: float
+    kind: Literal["crash", "slowdown"] = "crash"
+    #: CPU fraction stolen during a slowdown (ignored for crashes).
+    fraction: float = 0.5
+    #: Duty-cycle period of the slowdown hog.
+    period_us: float = ms(10)
+
+    def __post_init__(self) -> None:
+        if self.node < 0:
+            raise ValueError("node must be >= 0")
+        if self.at_us < 0 or self.duration_us <= 0:
+            raise ValueError("at_us must be >= 0 and duration_us > 0")
+        if self.kind not in ("crash", "slowdown"):
+            raise ValueError(f"unknown node fault kind {self.kind!r}")
+        if self.kind == "slowdown" and not 0.0 < self.fraction < 1.0:
+            raise ValueError("slowdown fraction must be in (0, 1)")
+
+
+@dataclass(frozen=True)
+class CoschedFaultSpec:
+    """One scheduled co-scheduler daemon fault on one node.
+
+    ``die`` kills the daemon thread outright (tasks are left stuck at
+    whatever priority the last flip set — the dangerous failure the
+    watchdog exists for).  ``hang`` wedges it for ``duration_us`` (stuck
+    syscall): flips stop but the thread stays alive, which only heartbeat
+    staleness can detect.
+    """
+
+    node: int
+    at_us: float
+    kind: Literal["die", "hang"] = "die"
+    duration_us: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.node < 0 or self.at_us < 0:
+            raise ValueError("node and at_us must be >= 0")
+        if self.kind not in ("die", "hang"):
+            raise ValueError(f"unknown cosched fault kind {self.kind!r}")
+        if self.kind == "hang" and self.duration_us <= 0:
+            raise ValueError("hang needs duration_us > 0")
+
+
+@dataclass(frozen=True)
+class FaultConfig:
+    """Fault injection + resilience policy for a run.
+
+    With ``enabled=False`` (the default) nothing is installed: no fault
+    plane on the fabric, no retransmit timers, no watchdogs, no extra RNG
+    draws — runs are bit-identical to a config without this section (the
+    zero-overhead invariant, held by a regression test).  All randomness
+    flows from named :mod:`repro.rng` streams (``faults.net``,
+    ``faults.pipe``, ``faults.clock``), so fault scenarios are exactly
+    reproducible and adding a fault consumer does not perturb daemon
+    noise draws.
+    """
+
+    enabled: bool = False
+
+    # -- stochastic network-fabric faults (applied per message) ---------
+    msg_drop_prob: float = 0.0
+    msg_dup_prob: float = 0.0
+    msg_delay_prob: float = 0.0
+    #: Extra delivery latency for delayed messages, and the lag of the
+    #: second copy of a duplicated one.
+    msg_delay_us: float = ms(2)
+    #: Global-time window inside which the stochastic network faults are
+    #: active (one-shot faults carry their own times).
+    net_window_us: tuple[float, float] = (0.0, float("inf"))
+
+    # -- control-pipe loss (task → pmd → co-scheduler messages) ---------
+    pipe_loss_prob: float = 0.0
+
+    # -- scheduled one-shot faults --------------------------------------
+    node_faults: tuple[NodeFaultSpec, ...] = ()
+    cosched_faults: tuple[CoschedFaultSpec, ...] = ()
+
+    # -- timesync loss ---------------------------------------------------
+    #: When set, the switch global clock fails at this instant: node
+    #: time-of-day clocks jump apart (accumulated unseen drift / a broken
+    #: NTP slam) and begin free-drifting at per-node rates.
+    timesync_loss_at_us: Optional[float] = None
+    #: Max magnitude of the per-node clock step at loss (µs).
+    clock_jump_us: float = ms(100)
+    #: Max magnitude of per-node clock drift after loss (µs per µs).
+    clock_drift_rate: float = 1e-4
+
+    # -- resilience responses -------------------------------------------
+    #: Sender-side point-to-point timeout + retransmit (capped exponential
+    #: backoff).  Installed per job world when faults are enabled.
+    retransmit_enabled: bool = True
+    retransmit_timeout_us: float = ms(10)
+    retransmit_backoff: float = 2.0
+    retransmit_max_timeout_us: float = ms(160)
+    #: Attempt number at which the retransmit bypasses injection entirely
+    #: (the adapter's link-level guarantee) — this bounds loss, so
+    #: collectives cannot deadlock even at ``msg_drop_prob=1``.
+    retransmit_max_attempts: int = 6
+    #: Per-node watchdog that restarts a dead/hung co-scheduler daemon and
+    #: re-registers its tasks over the control pipe.
+    watchdog_enabled: bool = True
+    watchdog_interval_us: float = s(1)
+    #: Heartbeat staleness (in co-scheduler periods) past which the daemon
+    #: is declared hung and restarted.
+    watchdog_staleness_periods: float = 2.5
+    #: On detected timesync loss the co-scheduler degrades to free-running
+    #: windows (keeps cycling on its own drifting clock) instead of
+    #: re-aligning to a bogus grid.
+    degrade_on_timesync_loss: bool = True
+
+    def __post_init__(self) -> None:
+        for name in ("msg_drop_prob", "msg_dup_prob", "msg_delay_prob", "pipe_loss_prob"):
+            p = getattr(self, name)
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1]")
+        lo, hi = self.net_window_us
+        if hi < lo:
+            raise ValueError("net_window_us must be (lo, hi) with hi >= lo")
+        if self.msg_delay_us < 0 or self.clock_jump_us < 0 or self.clock_drift_rate < 0:
+            raise ValueError("fault magnitudes must be >= 0")
+        if self.retransmit_timeout_us <= 0 or self.retransmit_backoff < 1.0:
+            raise ValueError("retransmit_timeout_us > 0 and backoff >= 1 required")
+        if self.retransmit_max_attempts < 1:
+            raise ValueError("retransmit_max_attempts must be >= 1")
+        if self.watchdog_interval_us <= 0 or self.watchdog_staleness_periods <= 0:
+            raise ValueError("watchdog parameters must be positive")
+
+    @property
+    def any_net_faults(self) -> bool:
+        return self.msg_drop_prob > 0 or self.msg_dup_prob > 0 or self.msg_delay_prob > 0
+
+
+@dataclass(frozen=True)
 class ClusterConfig:
     """Everything needed to instantiate a cluster run."""
 
@@ -461,6 +616,7 @@ class ClusterConfig:
     mpi: MpiConfig = field(default_factory=MpiConfig)
     cosched: CoschedConfig = field(default_factory=CoschedConfig)
     noise: NoiseConfig = field(default_factory=NoiseConfig)
+    faults: FaultConfig = field(default_factory=FaultConfig)
     seed: int = 0
 
     def replace(self, **kwargs) -> "ClusterConfig":

@@ -34,7 +34,9 @@ from repro.units import SEC
 
 __all__ = ["NodeCoscheduler", "JobCoscheduler"]
 
-#: One-way latency of the task → pmd → co-scheduler pipe hop.
+#: Default one-way latency of the task → pmd → co-scheduler pipe hop.
+#: The live knob is ``CoschedConfig.pipe_latency_us`` (same default); this
+#: module constant remains as the canonical number for tests and docs.
 PIPE_LATENCY_US = 250.0
 
 
@@ -55,6 +57,20 @@ class NodeCoscheduler:
         self._job_done = False
         #: Number of completed favor/unfavor cycles (tests, stats).
         self.cycles = 0
+        #: Liveness: local time of the daemon's last useful wake.  A
+        #: watchdog declares the daemon hung when this goes stale.
+        self.heartbeat = cluster.sim.now
+        #: Optional timesync health probe (installed by the fault injector);
+        #: ``None`` means "trust the grid" — the pre-fault behaviour.
+        self.sync_check = None
+        #: Called once (with this daemon) when timesync loss is detected
+        #: and the daemon degrades to free-running windows.
+        self.on_degrade = None
+        #: Degraded mode: cycle on our own, ignoring the (lost) global
+        #: grid — each node free-runs with its own phase, which is exactly
+        #: the paper's uncoordinated-baseline pathology.
+        self.free_running = False
+        self._hang_until = float("-inf")
         self.thread = node.scheduler.spawn(
             self._body(),
             name=f"cosched.{job_name}",
@@ -80,6 +96,34 @@ class NodeCoscheduler:
     def job_finished(self) -> None:
         """Signal that the job's processes are gone; exit at next wake."""
         self._job_done = True
+
+    def knows(self, task: Thread) -> bool:
+        """Is *task* registered (or registering)?  Watchdog audit hook."""
+        return task in self.tasks or any(
+            kind == "register" and t is task for kind, t in self._pending
+        )
+
+    def hang_for(self, duration_us: float) -> None:
+        """Fault injection: wedge the daemon for *duration_us* from now.
+
+        The daemon absorbs the hang at its next wake (a stuck syscall —
+        flips stop, heartbeat goes stale, the thread stays alive).  Only
+        heartbeat staleness can detect this state.
+        """
+        self._hang_until = max(self._hang_until, self.cluster.sim.now + duration_us)
+
+    def _absorb_hang(self):
+        while self.cluster.sim.now < self._hang_until:
+            yield SleepUntil(self._hang_until)
+
+    def _check_timesync(self) -> None:
+        """Poll the timesync probe; degrade to free-running on failure."""
+        if self.free_running or self.sync_check is None:
+            return
+        if not self.sync_check():
+            self.free_running = True
+            if self.on_degrade is not None:
+                self.on_degrade(self)
 
     # -- fine-grain region hints (paper §7 future work) -------------------
     def set_fine_grain(self, task: Thread, active: bool) -> None:
@@ -158,12 +202,15 @@ class NodeCoscheduler:
         yield SleepUntil(start)
 
         while not self._job_done:
+            yield from self._absorb_hang()
+            self.heartbeat = sim.now
+            self._check_timesync()
             # ---- favored window ---------------------------------------
             self._drain_pipe()
             self._set_all("favored")
             yield Compute(cfg.flip_cost_us)
             favor_end = sim.now + cfg.favored_window_us
-            if cfg.align_to_second:
+            if cfg.align_to_second and not self.free_running:
                 # Keep the grid: unfavor at cycle_start + duty·period of
                 # the local grid, not drifted by our own costs.
                 local = node.local_time(sim.now)
@@ -174,13 +221,16 @@ class NodeCoscheduler:
             yield SleepUntil(favor_end)
             if self._job_done:
                 break
+            yield from self._absorb_hang()
+            self.heartbeat = sim.now
             # ---- unfavored window -------------------------------------
             self._drain_pipe()
             self._set_all("unfavored")
             yield Compute(cfg.flip_cost_us)
-            next_cycle = grid_boundary_after(sim.now) if cfg.align_to_second else (
-                sim.now + cfg.unfavored_window_us
-            )
+            if cfg.align_to_second and not self.free_running:
+                next_cycle = grid_boundary_after(sim.now)
+            else:
+                next_cycle = sim.now + cfg.unfavored_window_us
             yield SleepUntil(next_cycle)
             self.cycles += 1
 
@@ -224,12 +274,23 @@ class JobCoscheduler:
     priorities of the tasks of the job running on that node."
     """
 
-    def __init__(self, cluster: Cluster, job: MpiJob, config: Optional[CoschedConfig] = None) -> None:
+    def __init__(
+        self,
+        cluster: Cluster,
+        job: MpiJob,
+        config: Optional[CoschedConfig] = None,
+        pipe_filter=None,
+    ) -> None:
         self.cluster = cluster
         self.job = job
         self.config = config if config is not None else cluster.config.cosched
         if not self.config.enabled:
             raise ValueError("JobCoscheduler requires CoschedConfig.enabled")
+        #: Optional lossy-pipe hook (fault injection): called per control
+        #: message; returning False means the message is lost in the pipe.
+        self.pipe_filter = pipe_filter
+        #: Daemon restarts performed via :meth:`restart_node` (watchdog).
+        self.restarts = 0
         job_nodes = sorted({job.placement.node_of(r) for r in range(job.placement.n_ranks)})
         self.node_coscheds: dict[int, NodeCoscheduler] = {
             n: NodeCoscheduler(cluster, cluster.nodes[n], self.config, job.name)
@@ -237,11 +298,10 @@ class JobCoscheduler:
         }
         # MPI-init registration: each task's PID flows over the control
         # pipe shortly after spawn.
-        sim = cluster.sim
         for rank in range(job.placement.n_ranks):
             nc = self.node_coscheds[job.placement.node_of(rank)]
             task = job.world.rank_threads[rank]
-            sim.schedule(PIPE_LATENCY_US, nc.pipe_register, task)
+            self._pipe_send(nc.pipe_register, task)
             job.apis[rank].cosched_control = _ControlPipe(self, rank)
         # Poll for job completion so node daemons can exit.
         self._watch_job()
@@ -253,8 +313,52 @@ class JobCoscheduler:
             return
         self.cluster.sim.schedule(self.config.period_us / 4.0, self._watch_job)
 
+    def _pipe_send(self, method, task: Thread) -> None:
+        """Deliver one control-pipe message (subject to injected loss)."""
+        if self.pipe_filter is not None and not self.pipe_filter():
+            return
+        self.cluster.sim.schedule(self.config.pipe_latency_us, method, task)
+
     def _send_pipe(self, kind: str, rank: int) -> None:
         nc = self.node_coscheds[self.job.placement.node_of(rank)]
         task = self.job.world.rank_threads[rank]
         method = nc.pipe_detach if kind == "detach" else nc.pipe_attach
-        self.cluster.sim.schedule(PIPE_LATENCY_US, method, task)
+        self._pipe_send(method, task)
+
+    # ------------------------------------------------------------------
+    # Watchdog support
+    # ------------------------------------------------------------------
+    def node_tasks(self, node_id: int) -> list[Thread]:
+        """The job's task threads placed on *node_id*."""
+        placement = self.job.placement
+        return [
+            self.job.world.rank_threads[r]
+            for r in range(placement.n_ranks)
+            if placement.node_of(r) == node_id
+        ]
+
+    def restart_node(self, node_id: int) -> NodeCoscheduler:
+        """Replace a dead/hung node daemon and re-register its tasks.
+
+        The watchdog's recovery action: kill whatever is left of the old
+        daemon, start a fresh one (same config — it re-aligns to the grid
+        on its own, or free-runs if timesync was already lost), and replay
+        each live task's registration over the control pipe.
+        """
+        old = self.node_coscheds[node_id]
+        node = self.cluster.nodes[node_id]
+        if old.thread.state is not ThreadState.FINISHED:
+            node.scheduler.kill(old.thread)
+        nc = NodeCoscheduler(self.cluster, node, self.config, self.job.name)
+        nc.sync_check = old.sync_check
+        nc.on_degrade = old.on_degrade
+        nc.free_running = old.free_running
+        nc.detached = set(old.detached)
+        self.node_coscheds[node_id] = nc
+        self.restarts += 1
+        if self.job.done:
+            nc.job_finished()
+        for task in self.node_tasks(node_id):
+            if task.state is not ThreadState.FINISHED:
+                self._pipe_send(nc.pipe_register, task)
+        return nc

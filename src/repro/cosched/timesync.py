@@ -17,7 +17,28 @@ from __future__ import annotations
 
 from repro.net.switch import SwitchClock
 
-__all__ = ["synchronize_node_clock"]
+__all__ = ["synchronize_node_clock", "TimesyncMonitor"]
+
+
+class TimesyncMonitor:
+    """Health probe over the switch clock register.
+
+    The co-scheduler daemon polls :meth:`ok` at cycle boundaries (the
+    paper's daemon re-reads the register anyway); once the register has
+    failed the probe reports loss and the daemon degrades to free-running
+    windows.  Kept as an object so a restarted daemon inherits the same
+    probe.
+    """
+
+    def __init__(self, switch: SwitchClock) -> None:
+        self.switch = switch
+        #: Number of health checks performed (tests/stats).
+        self.checks = 0
+
+    def ok(self) -> bool:
+        """One health check: True while the register still answers."""
+        self.checks += 1
+        return not self.switch.failed
 
 
 def synchronize_node_clock(

@@ -29,6 +29,7 @@ from repro.experiments.speedup import SpeedupResult, run_speedup154
 from repro.experiments.timer_threads import TimerThreadsResult, run_timer_threads
 from repro.experiments.ale3d_io import Ale3dIoResult, run_ale3d_io
 from repro.experiments.ablation import AblationResult, run_ablation
+from repro.experiments.resilience import ResilienceResult, run_resilience
 
 __all__ = [
     "Scenario",
@@ -55,4 +56,6 @@ __all__ = [
     "run_ale3d_io",
     "AblationResult",
     "run_ablation",
+    "ResilienceResult",
+    "run_resilience",
 ]

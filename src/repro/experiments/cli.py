@@ -39,6 +39,7 @@ from repro.experiments.extensions import (
     run_misalignment,
     run_multijob,
 )
+from repro.experiments.resilience import format_resilience, run_resilience
 from repro.experiments.workloads import (
     format_granularity,
     format_sensitivity,
@@ -74,7 +75,7 @@ def main(argv: list[str] | None = None) -> int:
         choices=[
             "fig1", "fig3", "fig4", "fig5", "fig6",
             "tpn15", "speedup", "timers", "ale3d", "ablation",
-            "multijob", "hw", "finegrain", "misalign",
+            "multijob", "hw", "finegrain", "misalign", "resilience",
             "waitmode", "sensitivity", "granularity", "validate",
             "all", "extensions",
         ],
@@ -97,10 +98,10 @@ def main(argv: list[str] | None = None) -> int:
     if "all" in wanted:
         wanted = ["fig1", "fig3", "fig4", "fig5", "fig6", "tpn15",
                   "speedup", "timers", "ale3d", "ablation",
-                  "multijob", "hw", "finegrain", "misalign",
+                  "multijob", "hw", "finegrain", "misalign", "resilience",
                   "waitmode", "sensitivity", "granularity"]
     elif "extensions" in wanted:
-        wanted = ["multijob", "hw", "finegrain", "misalign",
+        wanted = ["multijob", "hw", "finegrain", "misalign", "resilience",
                   "waitmode", "sensitivity", "granularity"]
 
     qa = _quick_kwargs(args.quick)
@@ -154,6 +155,9 @@ def main(argv: list[str] | None = None) -> int:
             print(format_fine_grain(run_fine_grain()))
         elif name == "misalign":
             print(format_misalignment(run_misalignment()))
+        elif name == "resilience":
+            rqa = {"n_ranks": 16, "calls": 1000} if args.quick else {}
+            print(format_resilience(run_resilience(**rqa)))
         elif name == "waitmode":
             print(format_waitmode(run_waitmode()))
         elif name == "sensitivity":

@@ -1,0 +1,77 @@
+"""Per-node watchdog for the co-scheduler daemon.
+
+The co-scheduler is a single point of failure per node: if it dies after
+an unfavor flip, the job's tasks are stuck at the unfavored priority and
+the node falls out of the coordinated schedule entirely.  The watchdog is
+a tiny independent thread (think init/srcmstr respawn) that periodically
+checks the daemon:
+
+* thread finished while the job is still running → daemon died → restart;
+* heartbeat stale by more than ``watchdog_staleness_periods`` co-schedule
+  periods → daemon wedged in a stuck syscall → kill and restart;
+* a live task the daemon does not know about → its control-pipe
+  registration was lost → re-send it.
+
+Restarts go through ``JobCoscheduler.restart_node``, which re-registers
+the node's tasks over the (possibly still lossy) control pipe; a lost
+re-registration is caught again by the audit on a later pass.
+
+The watchdog never issues ``Compute`` requests — it wakes, inspects
+state, and sleeps — so it occupies no CPU, produces no trace intervals,
+and cannot itself perturb the schedule it guards.
+"""
+
+from __future__ import annotations
+
+from repro.kernel.thread import Sleep, ThreadState
+
+__all__ = ["CoschedWatchdog"]
+
+
+class CoschedWatchdog:
+    """Guards one node's co-scheduler daemon for one job."""
+
+    def __init__(self, injector, job_cosched, node_id: int) -> None:
+        self.injector = injector
+        self.jc = job_cosched
+        self.node_id = node_id
+        #: Restarts this watchdog has performed (tests/stats).
+        self.restarts = 0
+        self.reregistrations = 0
+        node = injector.cluster.nodes[node_id]
+        self.thread = node.scheduler.spawn(
+            self._body(),
+            name=f"watchdog.n{node_id}",
+            priority=injector.cluster.config.cosched.self_priority,
+            affinity_cpu=0,
+            category="watchdog",
+            allow_steal=True,
+            tick_quantized=False,
+        )
+
+    def _body(self):
+        cfg = self.injector.config
+        sim = self.injector.cluster.sim
+        jc = self.jc
+        staleness = cfg.watchdog_staleness_periods * jc.config.period_us
+        while True:
+            yield Sleep(cfg.watchdog_interval_us)
+            if jc.job.done:
+                return
+            nc = jc.node_coscheds[self.node_id]
+            if nc.thread.state is ThreadState.FINISHED:
+                self.injector.record("cosched_restarted", self.node_id, "dead")
+                jc.restart_node(self.node_id)
+                self.restarts += 1
+                continue
+            if sim.now - nc.heartbeat > staleness:
+                self.injector.record("cosched_restarted", self.node_id, "hung")
+                jc.restart_node(self.node_id)
+                self.restarts += 1
+                continue
+            # Registration audit: catch control-pipe messages the pipe ate.
+            for task in jc.node_tasks(self.node_id):
+                if task.state is not ThreadState.FINISHED and not nc.knows(task):
+                    self.injector.record("task_reregistered", self.node_id, task.name)
+                    self.reregistrations += 1
+                    jc._pipe_send(nc.pipe_register, task)

@@ -243,6 +243,32 @@ class NodeScheduler:
                         self._schedule_check(cpu_idx)
         # BLOCKED / SLEEPING / NEW / FINISHED: takes effect on next wakeup.
 
+    def kill(self, thread: Thread) -> None:
+        """Terminate *thread* immediately, whatever it is doing.
+
+        Models an abnormal death (the fault injector's tool): the victim is
+        yanked off its CPU / out of its queue, pending timers are cancelled,
+        and — unlike :meth:`_finish` — ``on_finish`` is *not* invoked: nobody
+        is notified, which is exactly why the co-scheduler watchdog exists.
+        """
+        if thread.state is ThreadState.FINISHED:
+            return
+        if thread.state is ThreadState.RUNNING:
+            self._off_cpu_and_dispatch(thread, voluntary=False)
+        elif thread.state is ThreadState.READY:
+            self._queue_for(thread).remove(thread)
+        if thread.wake_ev is not None:
+            thread.wake_ev.cancel()
+            thread.wake_ev = None
+        if thread.completion_ev is not None:
+            thread.completion_ev.cancel()
+            thread.completion_ev = None
+        thread.spinning = None
+        thread.resume_advance = False
+        thread.spin_value = None
+        thread.state = ThreadState.FINISHED
+        thread.gen = None
+
     def idle_cpus(self) -> int:
         """Number of CPUs with no occupant right now."""
         return sum(1 for c in self.cpus if c.idle)

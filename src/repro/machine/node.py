@@ -6,6 +6,7 @@ from typing import Optional
 
 from repro.config import KernelConfig
 from repro.kernel.scheduler import NodeScheduler
+from repro.kernel.thread import Compute, Sleep, Thread
 from repro.kernel.ticks import TickSchedule
 from repro.sim.core import Simulator
 
@@ -40,7 +41,13 @@ class Node:
     ) -> None:
         self.id = node_id
         self.n_cpus = n_cpus
+        self.sim = sim
         self.clock_offset_us = clock_offset_us
+        #: Time-of-day drift rate (µs of local clock per µs of global time,
+        #: beyond 1.0) — zero while switch-clock sync holds; set by the fault
+        #: injector when timesync is lost.
+        self.drift_rate = 0.0
+        self.drift_start_us = 0.0
         self.ticks = TickSchedule(
             kernel,
             n_cpus,
@@ -51,11 +58,95 @@ class Node:
 
     def local_time(self, global_now: float) -> float:
         """This node's time-of-day reading at global time *global_now*."""
-        return global_now + self.clock_offset_us
+        t = global_now + self.clock_offset_us
+        if self.drift_rate:
+            t += self.drift_rate * (global_now - self.drift_start_us)
+        return t
 
     def global_time(self, local_time: float) -> float:
         """Global instant at which this node's clock reads *local_time*."""
+        if self.drift_rate:
+            return (
+                local_time - self.clock_offset_us + self.drift_rate * self.drift_start_us
+            ) / (1.0 + self.drift_rate)
         return local_time - self.clock_offset_us
+
+    # ------------------------------------------------------------------
+    # Fault-injection hooks (repro.faults)
+    # ------------------------------------------------------------------
+    def jump_clock(self, delta_us: float) -> None:
+        """Step this node's time-of-day clock by *delta_us* (an NTP slam)."""
+        self.clock_offset_us += delta_us
+
+    def set_clock_drift(self, rate: float, start_us: float) -> None:
+        """Begin free-drifting at *rate* from global instant *start_us*.
+
+        Folds any previously accumulated drift into the static offset first
+        so the clock reading is continuous at the change point.
+        """
+        if self.drift_rate:
+            self.clock_offset_us += self.drift_rate * (start_us - self.drift_start_us)
+        self.drift_rate = rate
+        self.drift_start_us = start_us
+
+    def inject_freeze(self, duration_us: float) -> list[Thread]:
+        """Seize every CPU for *duration_us*: a node crash / kernel hang.
+
+        One top-priority hog per CPU (asserted like a hardware interrupt, so
+        the takeover is immediate) computes flat out for the window.  Resident
+        threads make zero progress; the fabric keeps delivering into their
+        mailboxes, which is what makes the retransmit path testable.
+        """
+
+        def hog(duration: float):
+            yield Compute(duration)
+
+        return [
+            self.scheduler.spawn(
+                hog(duration_us),
+                name=f"fault-freeze-n{self.id}c{cpu}",
+                priority=0,
+                affinity_cpu=cpu,
+                category="fault",
+                allow_steal=False,
+                tick_quantized=False,
+                hardware=True,
+            )
+            for cpu in range(self.n_cpus)
+        ]
+
+    def inject_slowdown(
+        self, duration_us: float, fraction: float, period_us: float
+    ) -> list[Thread]:
+        """Steal *fraction* of every CPU for *duration_us* (thermal throttle).
+
+        Duty-cycled top-priority hogs: busy for ``fraction * period_us``,
+        asleep for the rest, until the window closes.
+        """
+        busy = fraction * period_us
+        idle = period_us - busy
+        end = self.sim.now + duration_us
+
+        def hog():
+            while self.sim.now < end:
+                yield Compute(busy)
+                if self.sim.now >= end:
+                    break
+                yield Sleep(idle)
+
+        return [
+            self.scheduler.spawn(
+                hog(),
+                name=f"fault-slow-n{self.id}c{cpu}",
+                priority=0,
+                affinity_cpu=cpu,
+                category="fault",
+                allow_steal=False,
+                tick_quantized=False,
+                hardware=True,
+            )
+            for cpu in range(self.n_cpus)
+        ]
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Node {self.id} cpus={self.n_cpus} offset={self.clock_offset_us:.1f}us>"

@@ -1,11 +1,13 @@
-"""Message envelope for the MPI model."""
+"""Message envelope and reliable-delivery layer for the MPI model."""
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Hashable
+from typing import Any, Callable, Hashable
 
-__all__ = ["Message"]
+from repro.sim.core import EventPriority
+
+__all__ = ["Message", "ReliableTransport"]
 
 
 @dataclass(frozen=True)
@@ -26,3 +28,96 @@ class Message:
     @property
     def key(self) -> tuple:
         return (self.dst, self.src, self.tag)
+
+
+class ReliableTransport:
+    """Sender-side timeout + retransmit over a lossy fabric.
+
+    Installed per job world by the fault injector; every point-to-point
+    send (and hence every software collective round) flows through it.
+    Each message carries a sequence number: the receive side suppresses
+    duplicates (retransmitted or fabric-duplicated copies) and, on first
+    delivery, cancels the sender's pending retransmit timer — the abstract
+    equivalent of a zero-cost ack.  Retransmits back off exponentially up
+    to ``max_timeout_us``; the attempt that reaches ``max_attempts`` goes
+    out on the link-level-guaranteed path (``faultable=False``), which
+    bounds loss and is why collectives cannot deadlock even at
+    ``msg_drop_prob = 1``.
+
+    With no faults active the extra cost is one wrapper tuple and one
+    timer event per message; the timer is cancelled on delivery, so it
+    never fires and never perturbs timings.
+    """
+
+    def __init__(
+        self,
+        sim,
+        fabric,
+        deliver: Callable[[Message], None],
+        *,
+        timeout_us: float,
+        backoff: float,
+        max_timeout_us: float,
+        max_attempts: int,
+    ) -> None:
+        self.sim = sim
+        self.fabric = fabric
+        self.deliver = deliver
+        self.timeout_us = timeout_us
+        self.backoff = backoff
+        self.max_timeout_us = max_timeout_us
+        self.max_attempts = max_attempts
+        self._next_seq = 0
+        #: seq -> [src_node, dst_node, msg, attempt, timeout, timer_event]
+        self._inflight: dict[int, list] = {}
+        self._delivered: set[int] = set()
+        self.retransmits = 0
+        self.duplicates_dropped = 0
+        self.forced = 0
+
+    def send(self, src_node: int, dst_node: int, msg: Message) -> None:
+        """Launch *msg* with retransmit protection."""
+        seq = self._next_seq
+        self._next_seq += 1
+        entry = [src_node, dst_node, msg, 1, self.timeout_us, None]
+        self._inflight[seq] = entry
+        self.fabric.transmit(src_node, dst_node, msg.nbytes, (seq, msg), self._on_arrive)
+        entry[5] = self.sim.schedule(
+            self.timeout_us, self._on_timeout, seq, priority=EventPriority.KERNEL
+        )
+
+    def _on_arrive(self, wrapped: tuple) -> None:
+        seq, msg = wrapped
+        if seq in self._delivered:
+            self.duplicates_dropped += 1
+            return
+        self._delivered.add(seq)
+        entry = self._inflight.pop(seq, None)
+        if entry is not None and entry[5] is not None:
+            entry[5].cancel()
+        self.deliver(msg)
+
+    def _on_timeout(self, seq: int) -> None:
+        entry = self._inflight.get(seq)
+        if entry is None:  # delivered in the meantime
+            return
+        src_node, dst_node, msg, attempt, timeout, _ = entry
+        attempt += 1
+        self.retransmits += 1
+        entry[3] = attempt
+        if attempt >= self.max_attempts:
+            # Last resort: the guaranteed link-level path.  No further timer
+            # — this copy always lands (dedup still applies if an earlier
+            # copy limps in first).
+            self.forced += 1
+            entry[5] = None
+            self.fabric.transmit(
+                src_node, dst_node, msg.nbytes, (seq, msg), self._on_arrive, faultable=False
+            )
+            return
+        timeout = min(timeout * self.backoff, self.max_timeout_us)
+        entry[4] = timeout
+        self.fabric.transmit(src_node, dst_node, msg.nbytes, (seq, msg), self._on_arrive)
+        entry[5] = self.sim.schedule(
+            timeout, self._on_timeout, seq, priority=EventPriority.KERNEL
+        )

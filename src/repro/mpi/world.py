@@ -30,7 +30,7 @@ from repro.config import MpiConfig, PRIO_NORMAL
 from repro.kernel.thread import Block, Compute, Sleep, SpinWait, Thread, ThreadState
 from repro.machine.cluster import Cluster, Placement
 from repro.mpi import collectives
-from repro.mpi.messages import Message
+from repro.mpi.messages import Message, ReliableTransport
 from repro.sim.core import EventPriority
 from repro.units import s
 
@@ -54,6 +54,27 @@ class MpiWorld:
         #: Optional hook called with each arriving Message before delivery
         #: (demand-based co-scheduling rides on this).
         self.arrival_listener = None
+        #: Optional ReliableTransport installed by the fault injector; when
+        #: present every point-to-point send is timeout/retransmit protected.
+        self.reliability: Optional[ReliableTransport] = None
+
+    def install_reliability(self, faults) -> ReliableTransport:
+        """Wrap sends in timeout + retransmit (see :class:`ReliableTransport`).
+
+        Covers every software path — collectives are built from
+        :meth:`send`/:meth:`recv` — but not the hardware-collective
+        deposit/fan-out, which models a switch-internal guaranteed path.
+        """
+        self.reliability = ReliableTransport(
+            self.cluster.sim,
+            self.cluster.fabric,
+            self._on_arrive,
+            timeout_us=faults.retransmit_timeout_us,
+            backoff=faults.retransmit_backoff,
+            max_timeout_us=faults.retransmit_max_timeout_us,
+            max_attempts=faults.retransmit_max_attempts,
+        )
+        return self.reliability
 
     # ------------------------------------------------------------------
     # Point-to-point
@@ -64,13 +85,12 @@ class MpiWorld:
         """Eager send: CPU overhead on the sender, then fire-and-forget."""
         yield Compute(self.cluster.config.network.overhead_us)
         msg = Message(src, dst, tag, payload, nbytes)
-        self.cluster.fabric.transmit(
-            self.placement.node_of(src),
-            self.placement.node_of(dst),
-            nbytes,
-            msg,
-            self._on_arrive,
-        )
+        src_node = self.placement.node_of(src)
+        dst_node = self.placement.node_of(dst)
+        if self.reliability is not None:
+            self.reliability.send(src_node, dst_node, msg)
+        else:
+            self.cluster.fabric.transmit(src_node, dst_node, nbytes, msg, self._on_arrive)
 
     def recv(self, dst: int, src: int, tag: Hashable) -> Generator:
         """Receive; spins or blocks while the message is absent."""

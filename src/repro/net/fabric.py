@@ -29,15 +29,26 @@ class MessageStats:
     messages: int = 0
     bytes: int = 0
     intra_node: int = 0
+    dropped: int = 0
+    duplicated: int = 0
+    delayed: int = 0
 
 
 class Fabric:
-    """Schedules message arrivals on the shared simulator."""
+    """Schedules message arrivals on the shared simulator.
+
+    ``fault_plane`` is an optional hook installed by the fault injector
+    (:mod:`repro.faults`): when present, each faultable transmit asks it for
+    the list of extra latencies at which copies should arrive — ``[0.0]``
+    means clean delivery, ``[]`` a drop, two entries a duplication.  When it
+    is ``None`` (every non-fault run) the path is a single ``is None`` test.
+    """
 
     def __init__(self, sim: Simulator, config: NetworkConfig) -> None:
         self.sim = sim
         self.config = config
         self.stats = MessageStats()
+        self.fault_plane = None
 
     def transmit(
         self,
@@ -46,13 +57,18 @@ class Fabric:
         nbytes: int,
         payload: Any,
         on_arrive: Callable[[Any], None],
+        faultable: bool = True,
     ) -> float:
-        """Launch a message; returns its arrival time.
+        """Launch a message; returns its nominal arrival time.
 
         ``on_arrive(payload)`` fires at the arrival instant with
         message-delivery event priority (before same-instant kernel work,
         after interrupts), modelling the adapter raising completion ahead
         of dispatcher decisions.
+
+        ``faultable=False`` bypasses any installed fault plane — the
+        link-level-guaranteed path the retransmit layer falls back to on its
+        final attempt, which is what bounds loss and rules out deadlock.
         """
         if nbytes < 0:
             raise ValueError("nbytes must be >= 0")
@@ -63,5 +79,11 @@ class Fabric:
         if same:
             self.stats.intra_node += 1
         arrival = self.sim.now + wire
+        if self.fault_plane is not None and faultable:
+            for extra in self.fault_plane.plan(src_node, dst_node, nbytes):
+                self.sim.schedule_at(
+                    arrival + extra, on_arrive, payload, priority=EventPriority.MESSAGE
+                )
+            return arrival
         self.sim.schedule_at(arrival, on_arrive, payload, priority=EventPriority.MESSAGE)
         return arrival

@@ -32,6 +32,17 @@ class SwitchClock:
         self._rng = rng
         self.read_error_us = read_error_us
         self.reads = 0
+        #: Set by the fault injector when the adapter clock register dies;
+        #: consumers (the timesync monitor) must stop trusting reads.
+        self.failed = False
+
+    def fail(self) -> None:
+        """Fail the clock register (fault injection: timesync loss)."""
+        self.failed = True
+
+    def restore(self) -> None:
+        """Bring the clock register back."""
+        self.failed = False
 
     def read(self, global_now: float) -> float:
         """One register read: global time plus bounded sampling error."""

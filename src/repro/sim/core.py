@@ -190,20 +190,22 @@ class Simulator:
             nxt = self.peek_time()
             if nxt is None or nxt > time:
                 break
+            if max_events is not None and processed >= max_events:
+                raise SimulationError(f"exceeded max_events={max_events} before t={time}")
             self.step()
             processed += 1
-            if max_events is not None and processed > max_events:
-                raise SimulationError(f"exceeded max_events={max_events} before t={time}")
         self.now = time
         return processed
 
     def run(self, max_events: Optional[int] = None) -> int:
         """Run until the event queue drains.  Returns events processed."""
         processed = 0
-        while self.step():
-            processed += 1
-            if max_events is not None and processed > max_events:
+        while True:
+            if max_events is not None and processed >= max_events and self.peek_time() is not None:
                 raise SimulationError(f"exceeded max_events={max_events}")
+            if not self.step():
+                break
+            processed += 1
         return processed
 
     @property

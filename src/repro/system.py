@@ -21,6 +21,7 @@ from repro.config import ClusterConfig, NoiseConfig, PRIO_NORMAL
 from repro.cosched.coscheduler import JobCoscheduler
 from repro.daemons.engine import DaemonHandle, install_noise
 from repro.daemons.io import IoService
+from repro.faults.injector import FaultInjector
 from repro.machine.cluster import Cluster
 from repro.mpi.world import MpiApi, MpiJob
 from repro.trace.recorder import TraceRecorder
@@ -64,6 +65,11 @@ class System:
         if with_io:
             self.io_services = [IoService(node, priority=io_priority) for node in self.cluster.nodes]
         self.coscheds: list[JobCoscheduler] = []
+        #: Fault injector, or None when ``config.faults.enabled`` is off —
+        #: in which case no hook of any kind is installed (zero overhead).
+        self.injector: Optional[FaultInjector] = (
+            FaultInjector(self.cluster, config.faults) if config.faults.enabled else None
+        )
 
     @property
     def sim(self):
@@ -91,6 +97,14 @@ class System:
         job = MpiJob(
             self.cluster, placement, body_factory, priority=priority, name=name, on_api=wire
         )
+        job_cosched = None
         if self.config.cosched.enabled:
-            self.coscheds.append(JobCoscheduler(self.cluster, job))
+            job_cosched = JobCoscheduler(
+                self.cluster,
+                job,
+                pipe_filter=self.injector.pipe_filter if self.injector is not None else None,
+            )
+            self.coscheds.append(job_cosched)
+        if self.injector is not None:
+            self.injector.attach_job(job, job_cosched)
         return job

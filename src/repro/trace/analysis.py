@@ -13,7 +13,7 @@ from __future__ import annotations
 from collections import defaultdict
 from dataclasses import dataclass
 
-from repro.trace.recorder import RunInterval, TraceRecorder
+from repro.trace.recorder import FaultEvent, RunInterval, TraceRecorder
 
 __all__ = [
     "WindowAttribution",
@@ -22,6 +22,8 @@ __all__ = [
     "explain_outliers",
     "overhead_report",
     "OverheadReport",
+    "attribute_faults",
+    "fault_summary",
 ]
 
 
@@ -175,3 +177,39 @@ def explain_outliers(
         out.append((i, dur, att.top()))
     out.sort(key=lambda row: -row[1])
     return out
+
+
+def attribute_faults(
+    trace: TraceRecorder,
+    windows: list[tuple[float, float]],
+    node: int | None = None,
+    slack_us: float = 0.0,
+) -> list[tuple[int, float, list[FaultEvent]]]:
+    """Attribute recorded fault events to the windows they land in.
+
+    For each window overlapping at least one fault event (optionally
+    filtered to *node*; cluster-wide events with ``node == -1`` always
+    match), returns ``(window index, duration, [events...])``.  A fault's
+    effects outlive its instant — ``slack_us`` extends each window
+    backwards so an injection shortly *before* a window still gets the
+    blame (e.g. a node freeze starting between two Allreduces).
+    """
+    out = []
+    for i, (t0, t1) in enumerate(windows):
+        hits = [
+            ev
+            for ev in trace.faults
+            if t0 - slack_us <= ev.time <= t1
+            and (node is None or ev.node == -1 or ev.node == node)
+        ]
+        if hits:
+            out.append((i, t1 - t0, hits))
+    return out
+
+
+def fault_summary(trace: TraceRecorder) -> dict[str, int]:
+    """Count recorded fault events by kind (quick sanity/reporting aid)."""
+    counts: dict[str, int] = defaultdict(int)
+    for ev in trace.faults:
+        counts[ev.kind] += 1
+    return dict(counts)

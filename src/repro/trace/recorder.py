@@ -14,7 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, Optional
 
-__all__ = ["RunInterval", "Mark", "TraceRecorder"]
+__all__ = ["RunInterval", "Mark", "FaultEvent", "TraceRecorder"]
 
 
 @dataclass(frozen=True)
@@ -43,6 +43,22 @@ class Mark:
     rank: int
     time: float
     payload: object = None
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One injected fault or resilience action (``node=-1``: cluster-wide).
+
+    ``kind`` values shipped by :mod:`repro.faults`: ``node_crash``,
+    ``node_slowdown``, ``cosched_died``, ``cosched_hung``,
+    ``cosched_restarted``, ``timesync_lost``, ``timesync_degraded``,
+    ``pipe_msg_lost``, ``task_reregistered``.
+    """
+
+    kind: str
+    node: int
+    time: float
+    detail: object = None
 
 
 class TraceRecorder:
@@ -75,6 +91,7 @@ class TraceRecorder:
         self.min_duration_us = min_duration_us
         self.intervals: list[RunInterval] = []
         self.marks: list[Mark] = []
+        self.faults: list[FaultEvent] = []
 
     def record_interval(self, node: int, cpu: int, thread, t0: float, t1: float) -> None:
         """Record one CPU occupancy (called by the dispatcher; stays cheap)."""
@@ -96,10 +113,18 @@ class TraceRecorder:
             return
         self.marks.append(Mark(name, node, rank, time, payload))
 
+    def record_fault(self, kind: str, node: int, time: float, detail: object = None) -> None:
+        """Record one injected fault / resilience action (node/category
+        filters don't apply — fault events are rare and always wanted)."""
+        if not self.enabled:
+            return
+        self.faults.append(FaultEvent(kind, node, time, detail))
+
     def clear(self) -> None:
-        """Drop all recorded intervals and marks."""
+        """Drop all recorded intervals, marks, and fault events."""
         self.intervals.clear()
         self.marks.clear()
+        self.faults.clear()
 
     def intervals_on(self, node: int) -> list[RunInterval]:
         """All intervals recorded on *node*."""

@@ -162,6 +162,34 @@ class TestRunUntil:
             sim.schedule(float(i), lambda: None)
         assert sim.run_until(10.0) == 5
 
+    def test_max_events_exact_cap_is_not_exceeded(self):
+        """Regression: exactly max_events due events must run cleanly
+        (the guard used to fire one event early)."""
+        sim = Simulator()
+        for i in range(5):
+            sim.schedule(float(i), lambda: None)
+        assert sim.run_until(10.0, max_events=5) == 5
+
+    def test_max_events_one_below_due_count_raises(self):
+        sim = Simulator()
+        for i in range(5):
+            sim.schedule(float(i), lambda: None)
+        with pytest.raises(SimulationError):
+            sim.run_until(10.0, max_events=4)
+
+    def test_run_exact_cap_is_not_exceeded(self):
+        sim = Simulator()
+        for i in range(3):
+            sim.schedule(float(i), lambda: None)
+        assert sim.run(max_events=3) == 3
+
+    def test_run_cap_below_pending_raises(self):
+        sim = Simulator()
+        for i in range(3):
+            sim.schedule(float(i), lambda: None)
+        with pytest.raises(SimulationError):
+            sim.run(max_events=2)
+
     def test_events_processed_counter(self):
         sim = Simulator()
         for i in range(3):
