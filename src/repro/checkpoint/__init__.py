@@ -1,0 +1,64 @@
+"""Deterministic checkpoint/restore, invariant monitors, crash-safe harness.
+
+Generator-based threads cannot be pickled, so checkpoints are
+*replay-based*: a checkpoint stores the registered builder that creates
+the run, the builder's (picklable) arguments, the simulation position,
+and a fingerprint of the complete captured state; restore rebuilds the
+run from the builder and replays the event calendar up to the saved
+position, then verifies the fingerprint bit-for-bit.  Event replay is
+exact because the simulator is deterministic and chunked ``run_until``
+calls process the same event sequence as a single one.
+
+Public surface:
+
+* :mod:`repro.checkpoint.registry` — builder registration so callbacks
+  and run constructors can be named in a checkpoint file.
+* :mod:`repro.checkpoint.snapshot` — :class:`StateDescriber` (identity
+  normalisation), :func:`capture_state`, :func:`state_fingerprint`.
+* :mod:`repro.checkpoint.manager` — :class:`CheckpointManager`
+  (policy-driven atomic writes, keep-last-K, restore/resume).
+* :mod:`repro.checkpoint.monitor` — :class:`InvariantMonitor` and the
+  per-event sanitizer.
+* :mod:`repro.checkpoint.harness` — :class:`SweepJournal` and
+  :func:`trial_watchdog` for crash-safe resumable experiment sweeps.
+"""
+
+from repro.checkpoint.harness import SweepJournal, TrialFailure, TrialTimeout, trial_watchdog
+from repro.checkpoint.manager import (
+    CheckpointError,
+    CheckpointManager,
+    RestoreMismatch,
+    list_checkpoints,
+)
+from repro.checkpoint.monitor import InvariantError, InvariantMonitor, InvariantReport, Violation
+from repro.checkpoint.registry import (
+    audit_event_callbacks,
+    build_driver,
+    callback_ref,
+    get_builder,
+    register_builder,
+)
+from repro.checkpoint.snapshot import StateDescriber, capture_state, state_fingerprint
+
+__all__ = [
+    "CheckpointError",
+    "CheckpointManager",
+    "InvariantError",
+    "InvariantMonitor",
+    "InvariantReport",
+    "RestoreMismatch",
+    "StateDescriber",
+    "SweepJournal",
+    "TrialFailure",
+    "TrialTimeout",
+    "Violation",
+    "audit_event_callbacks",
+    "build_driver",
+    "callback_ref",
+    "capture_state",
+    "get_builder",
+    "list_checkpoints",
+    "register_builder",
+    "state_fingerprint",
+    "trial_watchdog",
+]

@@ -1,0 +1,161 @@
+"""Crash-safe experiment harness: trial journaling and wall-clock watchdog.
+
+A sweep is a loop over (scenario, proc-count, seed) trials, each costing
+minutes of wall clock.  The journal records every completed trial to its
+own atomically-written JSON file, so a crash (or a ``kill -9``) between
+trials loses at most the trial in flight; re-running the sweep with the
+same journal skips finished trials and recomputes only the rest.  Because
+``json`` round-trips doubles exactly, a resumed sweep is bit-identical to
+an uninterrupted one.
+
+Failed trials are journaled too — with ``status: "failed"`` — but are
+*retried* on resume: a failure is usually environmental (timeout, OOM),
+and permanently skipping it would silently shrink the sweep.  Only
+``status: "ok"`` entries short-circuit.
+
+:func:`trial_watchdog` bounds each trial's wall-clock time with a real
+``SIGALRM`` timer, so a wedged trial (a livelock in a model under an
+adversarial fault config) kills itself, gets recorded as failed, and the
+sweep moves on instead of hanging the whole campaign.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import signal
+import tempfile
+import threading
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Optional
+
+__all__ = ["TrialFailure", "TrialTimeout", "SweepJournal", "trial_watchdog"]
+
+_UNSAFE = re.compile(r"[^A-Za-z0-9._-]+")
+
+
+class TrialFailure(RuntimeError):
+    """A trial failed in a way the sweep should record and survive."""
+
+
+class TrialTimeout(TrialFailure):
+    """A trial exceeded its wall-clock budget (raised from SIGALRM)."""
+
+
+def _atomic_write_json(path: Path, obj) -> None:
+    """Write *obj* as JSON via temp-file + ``os.replace`` (crash-safe)."""
+    fd, tmp = tempfile.mkstemp(dir=path.parent, prefix=f".{path.name}.", suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as fh:
+            json.dump(obj, fh, indent=1, sort_keys=True)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+class SweepJournal:
+    """Per-trial completion journal under ``<root>/journal/``.
+
+    One JSON file per trial key; keys are free-form strings (e.g.
+    ``"proto16-n512-s2"``) sanitised for the filesystem.  ``lookup``
+    returns the recorded result for finished trials (and counts the hit,
+    so resume tests can assert how much work was skipped).
+    """
+
+    def __init__(self, root) -> None:
+        self.root = Path(root)
+        self.dir = self.root / "journal"
+        self.dir.mkdir(parents=True, exist_ok=True)
+        #: Successful lookups served from the journal (resume telemetry).
+        self.hits = 0
+
+    def _path(self, key: str) -> Path:
+        return self.dir / f"{_UNSAFE.sub('_', key)}.json"
+
+    def lookup(self, key: str) -> Optional[dict]:
+        """The journaled record for *key* if it finished OK, else None.
+
+        Failed entries return None on purpose: failures are retried on
+        resume, not skipped (see the module docstring).
+        """
+        path = self._path(key)
+        if not path.is_file():
+            return None
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                entry = json.load(fh)
+        except (OSError, json.JSONDecodeError):
+            return None  # torn/corrupt entry: recompute the trial
+        if entry.get("status") != "ok":
+            return None
+        self.hits += 1
+        return entry["record"]
+
+    def record(self, key: str, record: dict) -> None:
+        """Journal a completed trial (atomic; visible only when whole)."""
+        _atomic_write_json(self._path(key), {"status": "ok", "record": record})
+
+    def record_failure(self, key: str, reason: str) -> None:
+        """Journal a failed trial (kept for forensics, retried on resume)."""
+        _atomic_write_json(self._path(key), {"status": "failed", "reason": reason})
+
+    def entries(self) -> dict[str, dict]:
+        """All journal entries by sanitised key (forensics/tests)."""
+        out = {}
+        for p in sorted(self.dir.glob("*.json")):
+            try:
+                with open(p, "r", encoding="utf-8") as fh:
+                    out[p.stem] = json.load(fh)
+            except (OSError, json.JSONDecodeError):
+                continue
+        return out
+
+    def clear(self) -> None:
+        """Delete every journal entry (fresh-run semantics)."""
+        for p in self.dir.glob("*.json"):
+            try:
+                p.unlink()
+            except OSError:
+                pass
+
+
+@contextmanager
+def trial_watchdog(seconds: Optional[float]):
+    """Bound the wall-clock time of one trial with a real interval timer.
+
+    Inside the context, ``SIGALRM`` fires after *seconds* and raises
+    :class:`TrialTimeout` at the next bytecode boundary — which a wedged
+    (but GIL-yielding) trial always reaches.  Timer and handler are fully
+    restored on exit.
+
+    Degrades to a no-op when *seconds* is falsy, when not on the main
+    thread (signals can't be delivered elsewhere), or on platforms
+    without ``SIGALRM`` — the sweep then simply runs unguarded.
+    """
+    if (
+        not seconds
+        or threading.current_thread() is not threading.main_thread()
+        or not hasattr(signal, "SIGALRM")
+        or not hasattr(signal, "setitimer")
+    ):
+        yield
+        return
+
+    def _alarm(signum, frame):
+        raise TrialTimeout(f"trial exceeded {seconds}s wall-clock budget")
+
+    previous = signal.signal(signal.SIGALRM, _alarm)
+    signal.setitimer(signal.ITIMER_REAL, float(seconds))
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)

@@ -1,0 +1,90 @@
+"""Builder registry: names that survive a checkpoint file.
+
+A checkpoint cannot pickle live closures or suspended generators, so it
+stores *names*: the registered builder that constructs the run, and a
+stable reference for every scheduled callback (used in fingerprints and
+divergence reports).  Builders take only picklable keyword arguments and
+return a driver object exposing at least ``.system`` (a
+:class:`repro.system.System`).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+__all__ = [
+    "BUILDERS",
+    "register_builder",
+    "get_builder",
+    "build_driver",
+    "callback_ref",
+    "audit_event_callbacks",
+]
+
+#: name -> builder callable (kwargs -> driver with a ``.system``).
+BUILDERS: dict[str, Callable] = {}
+
+
+def register_builder(name: str) -> Callable:
+    """Decorator: register *fn* as the builder for checkpoint files named
+    *name*.  Re-registering a name overwrites (tests rely on this)."""
+
+    def deco(fn: Callable) -> Callable:
+        BUILDERS[name] = fn
+        return fn
+
+    return deco
+
+
+def get_builder(name: str) -> Callable:
+    """The builder registered under *name*; KeyError with guidance if absent."""
+    try:
+        return BUILDERS[name]
+    except KeyError:
+        raise KeyError(
+            f"no checkpoint builder registered under {name!r}; import the "
+            f"module that defines it before restoring (known: "
+            f"{sorted(BUILDERS) or 'none'})"
+        ) from None
+
+
+def build_driver(name: str, args: dict):
+    """Instantiate the driver for builder *name* with saved *args*."""
+    return get_builder(name)(**args)
+
+
+def callback_ref(fn) -> str:
+    """Stable, identity-free name for a scheduled callback.
+
+    Bound methods (every callback the simulator sees in practice) become
+    ``Owner[@nN].method`` where ``N`` is the owning node when the owner
+    exposes one — enough to tell two nodes' schedulers apart without
+    leaking ``id()`` values that differ across rebuilds.
+    """
+    owner = getattr(fn, "__self__", None)
+    if owner is None:
+        return getattr(fn, "__qualname__", None) or repr(fn)
+    node_id = getattr(owner, "node_id", None)
+    if node_id is None:
+        node = getattr(owner, "node", None)
+        node_id = getattr(node, "id", None)
+    if node_id is None and type(owner).__name__ == "Node":
+        node_id = getattr(owner, "id", None)
+    tag = f"[@n{node_id}]" if node_id is not None else ""
+    return f"{type(owner).__qualname__}{tag}.{getattr(fn, '__name__', '?')}"
+
+
+def audit_event_callbacks(sim) -> list[str]:
+    """References of queued callbacks that a checkpoint could NOT rebuild.
+
+    A closure defined inside a function carries ``<locals>`` in its
+    qualname and has no registered identity a restored run would recreate
+    — scheduling one makes the run uncheckpointable.  Returns the
+    offending references (empty list = calendar is clean).
+    """
+    offenders = []
+    for ev in sim.active_events():
+        ref = callback_ref(ev.fn)
+        if "<locals>" in ref or "<lambda>" in ref:
+            offenders.append(ref)
+    return offenders

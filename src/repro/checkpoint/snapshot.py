@@ -1,0 +1,141 @@
+"""State capture: identity normalisation, full snapshots, fingerprints.
+
+Two rebuilds of the same run differ in every ``id()`` and in the
+process-global thread/run-queue counters, while agreeing on everything
+that matters.  :class:`StateDescriber` is the normalisation layer every
+``snapshot_state`` method goes through: threads become per-node
+spawn-order keys, events become ``(time, priority, seq, callback-ref)``
+tuples, arbitrary values are recursively reduced to JSON-able structures
+with memory addresses scrubbed.  The resulting state dict is canonical —
+two runs that processed the same events serialise byte-identically, which
+is what makes a SHA-256 fingerprint a meaningful equality check.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import json
+import re
+from typing import Any, Optional
+
+import numpy as np
+
+from repro.checkpoint.registry import callback_ref
+from repro.kernel.thread import Thread
+from repro.sim.core import Event
+
+__all__ = ["StateDescriber", "capture_state", "state_fingerprint"]
+
+_ADDR = re.compile(r"0x[0-9a-fA-F]+")
+
+#: Recursion guard for :meth:`StateDescriber.value`; deep enough for any
+#: real payload, shallow enough to terminate on accidental cycles.
+_MAX_DEPTH = 12
+
+
+class StateDescriber:
+    """Maps live objects to rebuild-stable descriptions.
+
+    Thread keys are ``n<node>.t<idx>:<name>`` where ``idx`` is the
+    thread's position in its node scheduler's spawn list — spawn order is
+    deterministic and the list is append-only, so the key survives a
+    rebuild even though ``tid`` (a process-global counter) does not.
+    """
+
+    def __init__(self, cluster) -> None:
+        self._by_id: dict[int, str] = {}
+        self._by_tid: dict[int, str] = {}
+        for node in cluster.nodes:
+            for idx, t in enumerate(node.scheduler.threads):
+                key = f"n{node.id}.t{idx}:{t.name}"
+                self._by_id[id(t)] = key
+                self._by_tid[t.tid] = key
+
+    def thread(self, t: Optional[Thread]) -> Optional[str]:
+        """Stable key for *t* (None passes through; unknown threads are
+        tagged rather than silently misdescribed)."""
+        if t is None:
+            return None
+        return self._by_id.get(id(t), f"?unregistered:{getattr(t, 'name', '?')}")
+
+    def tid(self, tid: Optional[int]) -> Optional[str]:
+        """Stable key for a raw tid (None/unknown → None: e.g. the tid of
+        a killed-and-collected thread lingering in a ``detached`` set)."""
+        if tid is None:
+            return None
+        return self._by_tid.get(tid)
+
+    def callback(self, fn) -> str:
+        """Identity-free reference for a scheduled callback."""
+        return callback_ref(fn)
+
+    def event(self, ev: Optional[Event]) -> Optional[dict]:
+        """Describe a queued event; None (or a cancelled event) → None."""
+        if ev is None or not ev.active:
+            return None
+        return {
+            "t": ev.time,
+            "p": int(ev.priority),
+            "seq": ev.seq,
+            "fn": self.callback(ev.fn),
+            "args": [self.value(a) for a in ev.args],
+        }
+
+    def value(self, v: Any, _depth: int = 0) -> Any:
+        """Reduce an arbitrary payload value to JSON-able form."""
+        if v is None or isinstance(v, (bool, int, float, str)):
+            return v
+        if _depth >= _MAX_DEPTH:
+            return _scrub(repr(v))
+        if isinstance(v, Thread):
+            return self.thread(v)
+        if isinstance(v, Event):
+            return self.event(v)
+        if isinstance(v, enum.Enum):
+            return f"{type(v).__name__}.{v.name}"
+        if isinstance(v, np.generic):
+            return v.item()
+        if isinstance(v, np.ndarray):
+            return {"__ndarray__": v.tolist(), "dtype": str(v.dtype)}
+        if isinstance(v, (list, tuple)):
+            return [self.value(x, _depth + 1) for x in v]
+        if isinstance(v, (set, frozenset)):
+            return sorted(_scrub(repr(self.value(x, _depth + 1))) for x in v)
+        if isinstance(v, dict):
+            return [
+                [self.value(k, _depth + 1), self.value(x, _depth + 1)]
+                for k, x in sorted(v.items(), key=lambda kv: repr(kv[0]))
+            ]
+        if dataclasses.is_dataclass(v) and not isinstance(v, type):
+            return {
+                "__type__": type(v).__name__,
+                **{
+                    f.name: self.value(getattr(v, f.name), _depth + 1)
+                    for f in dataclasses.fields(v)
+                },
+            }
+        return _scrub(repr(v))
+
+
+def _scrub(text: str) -> str:
+    """Replace memory addresses in a repr with a stable placeholder."""
+    return _ADDR.sub("0x?", text)
+
+
+def capture_state(system) -> dict:
+    """Canonical full-state snapshot of *system* (a :class:`System`)."""
+    desc = StateDescriber(system.cluster)
+    return system.snapshot_state(desc)
+
+
+def state_fingerprint(state: dict) -> str:
+    """SHA-256 over the canonical JSON serialisation of *state*.
+
+    ``json.dumps`` emits shortest-round-trip float reprs, so doubles
+    survive exactly; ``sort_keys`` fixes dict order; the default hook
+    scrubs anything that slipped through undescribed.
+    """
+    blob = json.dumps(state, sort_keys=True, default=lambda o: _scrub(repr(o)))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()

@@ -32,6 +32,7 @@ __all__ = [
     "NodeFaultSpec",
     "CoschedFaultSpec",
     "FaultConfig",
+    "CheckpointPolicy",
     "ClusterConfig",
     "PRIO_NORMAL",
     "PRIO_DAEMON_SYSTEM",
@@ -604,6 +605,55 @@ class FaultConfig:
     @property
     def any_net_faults(self) -> bool:
         return self.msg_drop_prob > 0 or self.msg_dup_prob > 0 or self.msg_delay_prob > 0
+
+
+@dataclass(frozen=True)
+class CheckpointPolicy:
+    """Checkpoint/restart policy for long simulation runs.
+
+    With ``enabled=False`` (the default) nothing is installed: no manager,
+    no invariant walks, no extra events — runs stay bit-identical to a
+    config without this section (the same zero-overhead invariant the
+    fault layer holds).  Cadence can be driven by simulated time
+    (``interval_sim_us``), wall-clock time (``interval_wall_s``), or both;
+    whichever fires first at a checkpoint opportunity wins.  Snapshots are
+    written atomically (temp file + ``os.replace``) and pruned to the
+    newest ``keep_last``.
+
+    ``sanitize`` enables the per-event invariant sanitizer
+    (:class:`repro.checkpoint.monitor.InvariantMonitor` installed on
+    ``Simulator.on_event``) — expensive, for debugging; the default is
+    invariant checks only at checkpoint boundaries
+    (``check_invariants``).  ``verify_on_restore`` replays the restored
+    run to the snapshot time and refuses to continue unless the state
+    fingerprint matches bit-for-bit.
+    """
+
+    enabled: bool = False
+    #: Checkpoint every N simulated microseconds (None = no sim cadence).
+    interval_sim_us: Optional[float] = None
+    #: Checkpoint every N wall-clock seconds (None = no wall cadence).
+    interval_wall_s: Optional[float] = None
+    #: Number of most-recent snapshots retained on disk.
+    keep_last: int = 2
+    #: Run the full invariant suite before each snapshot is written.
+    check_invariants: bool = True
+    #: Per-event sanitizer mode (orders of magnitude slower; debugging).
+    sanitize: bool = False
+    #: Verify the replayed state fingerprint against the snapshot's.
+    verify_on_restore: bool = True
+
+    def __post_init__(self) -> None:
+        if self.interval_sim_us is not None and self.interval_sim_us <= 0:
+            raise ValueError("interval_sim_us must be positive when set")
+        if self.interval_wall_s is not None and self.interval_wall_s <= 0:
+            raise ValueError("interval_wall_s must be positive when set")
+        if self.keep_last < 1:
+            raise ValueError("keep_last must be >= 1")
+        if self.enabled and self.interval_sim_us is None and self.interval_wall_s is None:
+            raise ValueError(
+                "enabled checkpointing needs interval_sim_us and/or interval_wall_s"
+            )
 
 
 @dataclass(frozen=True)

@@ -103,6 +103,28 @@ class NodeCoscheduler:
             kind == "register" and t is task for kind, t in self._pending
         )
 
+    def snapshot_state(self, desc) -> dict:
+        """Checkpoint view: window bookkeeping and membership.
+
+        Membership sets hold tids, which aren't stable across rebuilds —
+        they go through ``desc.tid`` so the restored-and-replayed daemon
+        compares equal to the uninterrupted one.
+        """
+        return {
+            "node": self.node.id,
+            "window": self.window,
+            "cycles": self.cycles,
+            "heartbeat": self.heartbeat,
+            "free_running": self.free_running,
+            "hang_until": self._hang_until,
+            "job_done": self._job_done,
+            "tasks": [desc.thread(t) for t in self.tasks],
+            "detached": sorted(filter(None, (desc.tid(t) for t in self.detached))),
+            "fine_grain": sorted(filter(None, (desc.tid(t) for t in self.fine_grain))),
+            "pending": [[kind, desc.thread(t)] for kind, t in self._pending],
+            "thread": desc.thread(self.thread),
+        }
+
     def hang_for(self, duration_us: float) -> None:
         """Fault injection: wedge the daemon for *duration_us* from now.
 
@@ -324,6 +346,16 @@ class JobCoscheduler:
         task = self.job.world.rank_threads[rank]
         method = nc.pipe_detach if kind == "detach" else nc.pipe_attach
         self._pipe_send(method, task)
+
+    def snapshot_state(self, desc) -> dict:
+        """Checkpoint view: restart count plus every node daemon's state."""
+        return {
+            "restarts": self.restarts,
+            "nodes": [
+                [n, nc.snapshot_state(desc)]
+                for n, nc in sorted(self.node_coscheds.items())
+            ],
+        }
 
     # ------------------------------------------------------------------
     # Watchdog support

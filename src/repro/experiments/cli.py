@@ -6,6 +6,17 @@
     repro-experiments extensions          # E1-E6
     repro-experiments all --quick
     repro-experiments fig3 fig6 --csv results/   # also dump CSV series
+    repro-experiments fig6 --results results/run1         # JSON + journal
+    repro-experiments fig6 --results results/run1 --resume  # skip done trials
+    repro-experiments e9 --quick          # crash/restart round-trip check
+
+Crash safety: with ``--results DIR`` every sweep journals each finished
+(count, seed) trial under ``DIR/journal/``; after a crash (or kill -9),
+re-running with ``--resume`` skips completed trials and recomputes only
+the rest — bit-identically.  Without ``--resume`` the journal is cleared
+for fresh-run semantics.  ``--trial-timeout`` bounds each trial's
+wall-clock time; wedged trials are recorded as explicit holes and the
+campaign continues.
 """
 
 from __future__ import annotations
@@ -76,13 +87,36 @@ def main(argv: list[str] | None = None) -> int:
             "fig1", "fig3", "fig4", "fig5", "fig6",
             "tpn15", "speedup", "timers", "ale3d", "ablation",
             "multijob", "hw", "finegrain", "misalign", "resilience",
-            "waitmode", "sensitivity", "granularity", "validate",
+            "waitmode", "sensitivity", "granularity", "validate", "e9",
             "all", "extensions",
         ],
     )
     parser.add_argument("--quick", action="store_true", help="smaller sweeps for a fast pass")
     parser.add_argument("--csv", metavar="DIR", help="also write CSV series to DIR")
+    parser.add_argument(
+        "--results", metavar="DIR",
+        help="results directory: JSON result files plus the per-trial journal",
+    )
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="with --results: skip trials already journaled (crash recovery)",
+    )
+    parser.add_argument(
+        "--trial-timeout", type=float, metavar="SECONDS", default=None,
+        help="wall-clock budget per sweep trial; timed-out trials become "
+             "recorded holes instead of hanging the campaign",
+    )
     args = parser.parse_args(argv)
+
+    journal = None
+    if args.results:
+        from repro.checkpoint import SweepJournal
+
+        journal = SweepJournal(args.results)
+        if not args.resume:
+            journal.clear()
+    elif args.resume:
+        parser.error("--resume requires --results DIR (the journal to resume from)")
 
     def csv_out(name: str, headers, rows) -> None:
         if not args.csv:
@@ -99,12 +133,24 @@ def main(argv: list[str] | None = None) -> int:
         wanted = ["fig1", "fig3", "fig4", "fig5", "fig6", "tpn15",
                   "speedup", "timers", "ale3d", "ablation",
                   "multijob", "hw", "finegrain", "misalign", "resilience",
-                  "waitmode", "sensitivity", "granularity"]
+                  "waitmode", "sensitivity", "granularity", "e9"]
     elif "extensions" in wanted:
         wanted = ["multijob", "hw", "finegrain", "misalign", "resilience",
                   "waitmode", "sensitivity", "granularity"]
 
+    def save_json(name: str, result) -> None:
+        """Archive one experiment's result dataclass (atomic write)."""
+        if not args.results:
+            return
+        from repro.results import save_result
+
+        os.makedirs(args.results, exist_ok=True)
+        path = os.path.join(args.results, f"{name}.json")
+        save_result(path, result)
+        print(f"[json: {path}]")
+
     qa = _quick_kwargs(args.quick)
+    harness = {"journal": journal, "trial_timeout_s": args.trial_timeout}
     for name in wanted:
         t0 = time.time()
         print(f"=== {name} " + "=" * (60 - len(name)))
@@ -112,9 +158,10 @@ def main(argv: list[str] | None = None) -> int:
         if name == "fig1":
             print(format_fig1(run_fig1()))
         elif name == "fig3":
-            res = run_fig3(**qa)
+            res = run_fig3(**qa, **harness)
             print(format_sweep(res, "Figure 3: vanilla kernel, 16 tasks/node"))
             csv_out("fig3", sweep_headers, res.rows())
+            save_json("fig3", res)
         elif name == "fig4":
             res = run_fig4()
             print(format_fig4(res))
@@ -124,21 +171,25 @@ def main(argv: list[str] | None = None) -> int:
                 enumerate(res.sorted_durations_us),
             )
         elif name == "fig5":
-            res = run_fig5(**qa)
+            res = run_fig5(**qa, **harness)
             print(format_sweep(res, "Figure 5: prototype kernel + co-scheduler"))
             csv_out("fig5", sweep_headers, res.rows())
+            save_json("fig5", res)
         elif name == "fig6":
-            res = run_fig6(**qa)
+            res = run_fig6(**qa, **harness)
             print(format_fig6(res))
             csv_out(
                 "fig6",
                 ("procs", "vanilla_us", "prototype_us"),
                 zip(res.vanilla.proc_counts, res.vanilla.mean_us, res.prototype.mean_us),
             )
+            save_json("fig6_vanilla", res.vanilla)
+            save_json("fig6_prototype", res.prototype)
         elif name == "tpn15":
-            res = run_tpn15(**qa)
+            res = run_tpn15(**qa, **harness)
             print(format_sweep(res, "T1: vanilla kernel, 15 tasks/node"))
             csv_out("tpn15", sweep_headers, res.rows())
+            save_json("tpn15", res)
         elif name == "speedup":
             print(format_speedup(run_speedup154()))
         elif name == "timers":
@@ -157,7 +208,20 @@ def main(argv: list[str] | None = None) -> int:
             print(format_misalignment(run_misalignment()))
         elif name == "resilience":
             rqa = {"n_ranks": 16, "calls": 1000} if args.quick else {}
-            print(format_resilience(run_resilience(**rqa)))
+            res = run_resilience(**rqa)
+            print(format_resilience(res))
+            save_json("resilience", res)
+        elif name == "e9":
+            from repro.experiments.e9_resume import format_e9, run_e9
+
+            res = run_e9(
+                quick=args.quick,
+                workdir=os.path.join(args.results, "e9") if args.results else None,
+            )
+            print(format_e9(res))
+            save_json("e9", res)
+            if not (res.fingerprint_match and res.journal_match):
+                return 1
         elif name == "waitmode":
             print(format_waitmode(run_waitmode()))
         elif name == "sensitivity":

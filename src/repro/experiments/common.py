@@ -15,7 +15,7 @@ The three configurations the paper contrasts, reused across figures:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Optional, Sequence
 
 import numpy as np
@@ -112,6 +112,10 @@ class SweepResult:
     call_std_us: np.ndarray
     n_seeds: int
     n_calls: int
+    #: Trials that failed or timed out, as ``"<scenario>-n<procs>-s<seed>"``
+    #: keys.  A count whose every seed failed carries NaN in the arrays —
+    #: the sweep reports an explicit hole rather than dying mid-campaign.
+    failed_points: list = field(default_factory=list)
 
     def rows(self) -> list[tuple[int, float, float, float]]:
         """Table rows: (procs, mean, run-σ, call-σ)."""
@@ -130,28 +134,64 @@ def allreduce_sweep(
     n_seeds: int = 3,
     compute_between_us: float = 200.0,
     base_seed: int = 1000,
+    journal=None,
+    trial_timeout_s: Optional[float] = None,
 ) -> SweepResult:
     """Model an aggregate_trace-style series at each processor count.
 
     Mirrors the paper's methodology: "each plotted datum is the average of
     at least 3 runs, and each run is the result of thousands of
     Allreduces" (we default to hundreds per run; benchmarks may raise it).
+
+    Crash safety: with a :class:`repro.checkpoint.SweepJournal` supplied,
+    every finished ``(count, seed)`` trial is journaled atomically and a
+    re-run with the same journal skips it — a killed sweep resumes where
+    it died, bit-identically (JSON round-trips doubles exactly).  With
+    *trial_timeout_s*, each trial runs under a wall-clock watchdog; a
+    wedged or failing trial is recorded in ``failed_points`` (and in the
+    journal) and the sweep continues, leaving an explicit NaN hole when
+    a count loses all its seeds.
     """
+    from repro.checkpoint.harness import trial_watchdog
+
     means = np.empty(len(proc_counts))
     run_stds = np.empty(len(proc_counts))
     call_stds = np.empty(len(proc_counts))
+    failed: list[str] = []
     for i, n in enumerate(proc_counts):
         per_seed = []
         per_std = []
         for s in range(n_seeds):
-            cfg = make_config(scenario, n, seed=base_seed + s)
-            model = AllreduceSeriesModel(cfg, n, scenario.tasks_per_node, seed=base_seed + 7 * s + n)
-            res = model.run_series(n_calls, compute_between_us=compute_between_us)
+            key = f"{scenario.name}-n{n}-s{s}"
+            if journal is not None:
+                done = journal.lookup(key)
+                if done is not None:
+                    per_seed.append(done["mean_us"])
+                    per_std.append(done["std_us"])
+                    continue
+            try:
+                with trial_watchdog(trial_timeout_s):
+                    cfg = make_config(scenario, n, seed=base_seed + s)
+                    model = AllreduceSeriesModel(
+                        cfg, n, scenario.tasks_per_node, seed=base_seed + 7 * s + n
+                    )
+                    res = model.run_series(n_calls, compute_between_us=compute_between_us)
+            except Exception as exc:  # TrialTimeout, or a model blow-up
+                # under an adversarial config: record the hole, keep the
+                # campaign alive.  (KeyboardInterrupt still aborts.)
+                failed.append(key)
+                if journal is not None:
+                    journal.record_failure(key, f"{type(exc).__name__}: {exc}")
+                continue
             per_seed.append(res.mean_us)
             per_std.append(res.std_us)
-        means[i] = float(np.mean(per_seed))
-        run_stds[i] = float(np.std(per_seed))
-        call_stds[i] = float(np.mean(per_std))
+            if journal is not None:
+                journal.record(key, {"mean_us": res.mean_us, "std_us": res.std_us})
+        # A count whose every seed failed stays in the sweep as an
+        # explicit NaN hole — downstream fits mask it, plots show a gap.
+        means[i] = float(np.mean(per_seed)) if per_seed else float("nan")
+        run_stds[i] = float(np.std(per_seed)) if per_seed else float("nan")
+        call_stds[i] = float(np.mean(per_std)) if per_std else float("nan")
     return SweepResult(
         scenario.name,
         np.asarray(proc_counts, dtype=int),
@@ -160,4 +200,5 @@ def allreduce_sweep(
         call_stds,
         n_seeds,
         n_calls,
+        failed_points=failed,
     )

@@ -43,30 +43,40 @@ PAPER_VANILLA_FIT = (0.70, 166.0)
 PAPER_PROTOTYPE_FIT = (0.22, 210.0)
 
 
-def _sweep(scenario: Scenario, proc_counts, n_calls, n_seeds) -> SweepResult:
-    return allreduce_sweep(scenario, proc_counts=proc_counts, n_calls=n_calls, n_seeds=n_seeds)
+def _sweep(scenario: Scenario, proc_counts, n_calls, n_seeds, **harness) -> SweepResult:
+    return allreduce_sweep(
+        scenario, proc_counts=proc_counts, n_calls=n_calls, n_seeds=n_seeds, **harness
+    )
 
 
 def run_fig3(
-    proc_counts: Sequence[int] = PAPER_PROC_COUNTS, n_calls: int = 400, n_seeds: int = 3
+    proc_counts: Sequence[int] = PAPER_PROC_COUNTS, n_calls: int = 400, n_seeds: int = 3,
+    **harness,
 ) -> SweepResult:
-    """Vanilla kernel, 16 tasks/node (Figure 3)."""
-    return _sweep(VANILLA16, proc_counts, n_calls, n_seeds)
+    """Vanilla kernel, 16 tasks/node (Figure 3).
+
+    Extra keyword arguments (``journal``, ``trial_timeout_s``) pass
+    through to :func:`allreduce_sweep` for crash-safe campaigns; same for
+    the other sweep runners below.
+    """
+    return _sweep(VANILLA16, proc_counts, n_calls, n_seeds, **harness)
 
 
 def run_fig5(
-    proc_counts: Sequence[int] = PAPER_PROC_COUNTS, n_calls: int = 400, n_seeds: int = 3
+    proc_counts: Sequence[int] = PAPER_PROC_COUNTS, n_calls: int = 400, n_seeds: int = 3,
+    **harness,
 ) -> SweepResult:
     """Prototype kernel + co-scheduler, 16 tasks/node (Figure 5)."""
-    return _sweep(PROTO16, proc_counts, n_calls, n_seeds)
+    return _sweep(PROTO16, proc_counts, n_calls, n_seeds, **harness)
 
 
 def run_tpn15(
-    proc_counts: Sequence[int] = PAPER_PROC_COUNTS, n_calls: int = 400, n_seeds: int = 3
+    proc_counts: Sequence[int] = PAPER_PROC_COUNTS, n_calls: int = 400, n_seeds: int = 3,
+    **harness,
 ) -> SweepResult:
     """Vanilla kernel, 15 tasks/node (T1 baseline)."""
     counts15 = [15 * (-(-n // 16)) for n in proc_counts]  # same node counts
-    return _sweep(VANILLA15, counts15, n_calls, n_seeds)
+    return _sweep(VANILLA15, counts15, n_calls, n_seeds, **harness)
 
 
 @dataclass
@@ -88,11 +98,12 @@ class Fig6Result:
 
 
 def run_fig6(
-    proc_counts: Sequence[int] = PAPER_PROC_COUNTS, n_calls: int = 400, n_seeds: int = 3
+    proc_counts: Sequence[int] = PAPER_PROC_COUNTS, n_calls: int = 400, n_seeds: int = 3,
+    **harness,
 ) -> Fig6Result:
     """Run both sweeps and fit the scaling lines (Figure 6)."""
-    van = run_fig3(proc_counts, n_calls, n_seeds)
-    pro = run_fig5(proc_counts, n_calls, n_seeds)
+    van = run_fig3(proc_counts, n_calls, n_seeds, **harness)
+    pro = run_fig5(proc_counts, n_calls, n_seeds, **harness)
     vlin, _vlog, vwin = compare_fits(van.proc_counts, van.mean_us)
     plin, _plog, pwin = compare_fits(pro.proc_counts, pro.mean_us)
     return Fig6Result(van, pro, vlin, plin, vwin, pwin)

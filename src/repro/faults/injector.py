@@ -57,6 +57,10 @@ class NetFaultPlane:
         self.dups = 0
         self.delays = 0
 
+    def snapshot_state(self, desc) -> dict:
+        """Checkpoint view: fault decision counters."""
+        return {"drops": self.drops, "dups": self.dups, "delays": self.delays}
+
     def plan(self, src_node: int, dst_node: int, nbytes: int) -> tuple:
         """Decide this message's fate; see the class docstring."""
         if src_node == dst_node:
@@ -114,6 +118,21 @@ class FaultInjector:
             sim.schedule_at(spec.at_us, self._fire_node_fault, spec)
         if config.timesync_loss_at_us is not None:
             sim.schedule_at(config.timesync_loss_at_us, self._lose_timesync)
+
+    def snapshot_state(self, desc) -> dict:
+        """Checkpoint view: injected events, pipe losses, watchdog state."""
+        return {
+            "events": [
+                [e.kind, e.node, e.time, repr(e.detail)] for e in self.events
+            ],
+            "pipe_losses": self.pipe_losses,
+            "net_plane": (
+                self.net_plane.snapshot_state(desc)
+                if self.net_plane is not None
+                else None
+            ),
+            "watchdogs": [w.snapshot_state(desc) for w in self.watchdogs],
+        }
 
     # ------------------------------------------------------------------
     # Recording

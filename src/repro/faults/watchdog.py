@@ -49,6 +49,15 @@ class CoschedWatchdog:
             tick_quantized=False,
         )
 
+    def snapshot_state(self, desc) -> dict:
+        """Checkpoint view: restart/re-registration counters."""
+        return {
+            "node": self.node_id,
+            "restarts": self.restarts,
+            "reregistrations": self.reregistrations,
+            "thread": desc.thread(self.thread),
+        }
+
     def _body(self):
         cfg = self.injector.config
         sim = self.injector.cluster.sim

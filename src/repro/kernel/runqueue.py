@@ -128,3 +128,19 @@ class RunQueue:
         for entry in self._heap:
             if entry.live:
                 yield entry.thread
+
+    def snapshot_state(self, desc) -> dict:
+        """Checkpoint view: queued threads in exact dispatch order.
+
+        Entry sequence numbers come from a class-global counter, so their
+        absolute values differ between rebuilds of the same run — only the
+        *order* they induce is reproducible, and only the order is
+        captured.
+        """
+        order = sorted(
+            (e for e in self._heap if e.live), key=lambda e: (e.priority, e.seq)
+        )
+        return {
+            "name": self.name,
+            "order": [[e.priority, desc.thread(e.thread)] for e in order],
+        }

@@ -193,10 +193,12 @@ class NodeScheduler:
             raise RuntimeError(f"spin_deliver() on non-spinning {thread!r}")
         thread.spinning = None
         if thread.state is ThreadState.RUNNING:
-            # Account the spin occupancy before the thread moves on.
-            cpu = self.cpus[thread.cpu]
-            thread.stats.cpu_time_us += self.sim.now - cpu.run_began
-            cpu.run_began = self.sim.now
+            # Account the spin occupancy before the thread moves on.  The
+            # segment starts at run_start (set when the spin began or the
+            # thread was re-dispatched), NOT cpu.run_began: the occupancy
+            # since dispatch may include completed Compute work that
+            # _on_complete already credited.
+            thread.stats.cpu_time_us += self.sim.now - thread.run_start
             self._advance(thread, value)
         elif thread.state is ThreadState.READY:
             # Preempted mid-spin; resume the generator at next dispatch.
@@ -268,6 +270,32 @@ class NodeScheduler:
         thread.spin_value = None
         thread.state = ThreadState.FINISHED
         thread.gen = None
+
+    def snapshot_state(self, desc) -> dict:
+        """Checkpoint view of the dispatcher: CPUs, queues, all threads."""
+        return {
+            "node": self.node_id,
+            "cpus": [
+                {
+                    "index": c.index,
+                    "thread": desc.thread(c.thread),
+                    "run_began": c.run_began,
+                    "last_switch": c.last_switch,
+                    "busy_us": c.busy_us,
+                    "last": desc.tid(c.last_tid),
+                    "check_pending": c.check_ev is not None and c.check_ev.active,
+                }
+                for c in self.cpus
+            ],
+            "local_queues": [q.snapshot_state(desc) for q in self.local_queues],
+            "global_queue": self.global_queue.snapshot_state(desc),
+            "threads": [t.snapshot_state(desc) for t in self.threads],
+            "ipis": {
+                "inflight": self._ipis_inflight,
+                "sent": self.ipis_sent,
+                "suppressed": self.ipis_suppressed,
+            },
+        }
 
     def idle_cpus(self) -> int:
         """Number of CPUs with no occupant right now."""
@@ -566,7 +594,9 @@ class NodeScheduler:
             thread.completion_ev.cancel()
             thread.completion_ev = None
         if thread.spinning is not None:
-            thread.stats.cpu_time_us += now - cpu.run_began
+            # Same run_start rationale as spin_deliver: don't re-charge
+            # compute already credited by _on_complete.
+            thread.stats.cpu_time_us += now - thread.run_start
         if voluntary:
             thread.stats.voluntary_switches += 1
         cpu.thread = None

@@ -255,6 +255,41 @@ class Thread:
         #: mirror a task's priority onto its auxiliary threads).
         self.on_priority_change: Optional[Callable[["Thread", int, int], None]] = None
 
+    def snapshot_state(self, desc) -> dict:
+        """Checkpoint view of this thread (see :mod:`repro.checkpoint`).
+
+        *desc* resolves identities that are not stable across process
+        rebuilds: thread keys come from per-node spawn order (``tid`` is a
+        module-global counter) and pending events are described by their
+        calendar coordinates, never by object identity.
+        """
+        return {
+            "key": desc.thread(self),
+            "name": self.name,
+            "category": self.category,
+            "state": self.state.value,
+            "priority": self.priority,
+            "base_priority": self.base_priority,
+            "cpu": self.cpu,
+            "affinity_cpu": self.affinity_cpu,
+            "work_remaining": self.work_remaining,
+            "run_start": self.run_start,
+            "run_work": self.run_work,
+            "cs_due": self.cs_due,
+            "spinning": self.spinning is not None,
+            "resume_advance": self.resume_advance,
+            "wake_ev": desc.event(self.wake_ev),
+            "completion_ev": desc.event(self.completion_ev),
+            "stats": {
+                "cpu_time_us": self.stats.cpu_time_us,
+                "dispatches": self.stats.dispatches,
+                "preemptions": self.stats.preemptions,
+                "voluntary_switches": self.stats.voluntary_switches,
+                "ready_wait_us": self.stats.ready_wait_us,
+                "last_ready_at": self.stats.last_ready_at,
+            },
+        }
+
     @property
     def runnable(self) -> bool:
         return self.state in (ThreadState.READY, ThreadState.RUNNING)

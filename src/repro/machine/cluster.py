@@ -100,6 +100,27 @@ class Cluster:
     def total_cpus(self) -> int:
         return self.n_nodes * self.cpus_per_node
 
+    def snapshot_state(self, desc) -> dict:
+        """Checkpoint view of everything the cluster owns.
+
+        The event calendar is captured as described coordinates (time,
+        priority, sequence, callback reference) — callbacks themselves are
+        re-bound on restore by rebuilding through the checkpoint builder
+        registry and replaying to the snapshot instant.
+        """
+        return {
+            "sim": {
+                "now": self.sim.now,
+                "events_processed": self.sim.events_processed,
+                "events": [desc.event(ev) for ev in self.sim.active_events()],
+            },
+            "rng": self.rngf.snapshot_state(),
+            "switch": self.switch.snapshot_state(desc),
+            "fabric": self.fabric.snapshot_state(desc),
+            "trace": self.trace.snapshot_state(desc),
+            "nodes": [node.snapshot_state(desc) for node in self.nodes],
+        }
+
     def place(self, n_ranks: int, tasks_per_node: Optional[int] = None) -> Placement:
         """Block placement of *n_ranks* MPI tasks onto the cluster."""
         tpn = tasks_per_node if tasks_per_node is not None else self.cpus_per_node

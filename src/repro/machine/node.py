@@ -71,6 +71,16 @@ class Node:
             ) / (1.0 + self.drift_rate)
         return local_time - self.clock_offset_us
 
+    def snapshot_state(self, desc) -> dict:
+        """Checkpoint view: clock state + the dispatcher underneath."""
+        return {
+            "id": self.id,
+            "clock_offset_us": self.clock_offset_us,
+            "drift_rate": self.drift_rate,
+            "drift_start_us": self.drift_start_us,
+            "scheduler": self.scheduler.snapshot_state(desc),
+        }
+
     # ------------------------------------------------------------------
     # Fault-injection hooks (repro.faults)
     # ------------------------------------------------------------------

@@ -75,6 +75,32 @@ class ReliableTransport:
         self.duplicates_dropped = 0
         self.forced = 0
 
+    def snapshot_state(self, desc) -> dict:
+        """Checkpoint view: counters, in-flight entries, delivered digest."""
+        import hashlib
+
+        delivered = ",".join(map(str, sorted(self._delivered)))
+        return {
+            "next_seq": self._next_seq,
+            "retransmits": self.retransmits,
+            "duplicates_dropped": self.duplicates_dropped,
+            "forced": self.forced,
+            "n_delivered": len(self._delivered),
+            "delivered": hashlib.sha256(delivered.encode()).hexdigest(),
+            "inflight": [
+                [
+                    seq,
+                    e[0],
+                    e[1],
+                    desc.value(e[2]),
+                    e[3],
+                    e[4],
+                    desc.event(e[5]),
+                ]
+                for seq, e in sorted(self._inflight.items())
+            ],
+        }
+
     def send(self, src_node: int, dst_node: int, msg: Message) -> None:
         """Launch *msg* with retransmit protection."""
         seq = self._next_seq

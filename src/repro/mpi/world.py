@@ -199,6 +199,40 @@ class MpiWorld:
         """Messages delivered but not yet received (test/debug aid)."""
         return sum(len(q) for q in self._mail.values())
 
+    def snapshot_state(self, desc) -> dict:
+        """Checkpoint view: mailboxes, waiters, hw-collective state.
+
+        Mailbox keys are heterogeneous tuples (tags mix ints and strings),
+        so entries sort by their repr — deterministic, and stable across
+        rebuilds because keys contain only ranks and tags, never object
+        identities.
+        """
+        by_repr = lambda kv: repr(kv[0])  # noqa: E731 - local sort key
+        return {
+            "mail": [
+                [desc.value(k), [desc.value(m) for m in q]]
+                for k, q in sorted(self._mail.items(), key=by_repr)
+                if q
+            ],
+            "spin_waiters": [
+                [desc.value(k), desc.thread(t)]
+                for k, t in sorted(self._spin_waiters.items(), key=by_repr)
+            ],
+            "block_waiters": [
+                [desc.value(k), desc.thread(t)]
+                for k, t in sorted(self._block_waiters.items(), key=by_repr)
+            ],
+            "hw_ops": [
+                [desc.value(opid), st["count"], st["size"], desc.value(st["acc"])]
+                for opid, st in sorted(self._hw_ops.items(), key=by_repr)
+            ],
+            "reliability": (
+                self.reliability.snapshot_state(desc)
+                if self.reliability is not None
+                else None
+            ),
+        }
+
 
 class MpiApi:
     """Per-rank programming surface.
@@ -461,6 +495,20 @@ class MpiJob:
             if self.done:
                 return
             yield Compute(self.config.progress_cost_us)
+
+    def snapshot_state(self, desc) -> dict:
+        """Checkpoint view: job progress plus the world underneath."""
+        return {
+            "name": self.name,
+            "start_time": self.start_time,
+            "done_count": self._done,
+            "finish_times": [
+                [r, t] for r, t in sorted(self._finish_times.items())
+            ],
+            "tasks": [desc.thread(t) for t in self.tasks],
+            "timer_threads": [desc.thread(t) for t in self.timer_threads],
+            "world": self.world.snapshot_state(desc),
+        }
 
     @property
     def done(self) -> bool:

@@ -50,6 +50,18 @@ class Fabric:
         self.stats = MessageStats()
         self.fault_plane = None
 
+    def snapshot_state(self, desc) -> dict:
+        """Checkpoint view: cumulative message counters."""
+        return {
+            "messages": self.stats.messages,
+            "bytes": self.stats.bytes,
+            "intra_node": self.stats.intra_node,
+            "dropped": self.stats.dropped,
+            "duplicated": self.stats.duplicated,
+            "delayed": self.stats.delayed,
+            "faulted": self.fault_plane is not None,
+        }
+
     def transmit(
         self,
         src_node: int,

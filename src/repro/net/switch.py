@@ -36,6 +36,15 @@ class SwitchClock:
         #: consumers (the timesync monitor) must stop trusting reads.
         self.failed = False
 
+    def snapshot_state(self, desc) -> dict:
+        """Checkpoint view: read count and health (RNG state is captured
+        with the rest of the stream factory, not here)."""
+        return {
+            "reads": self.reads,
+            "failed": self.failed,
+            "read_error_us": self.read_error_us,
+        }
+
     def fail(self) -> None:
         """Fail the clock register (fault injection: timesync loss)."""
         self.failed = True

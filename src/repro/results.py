@@ -15,11 +15,21 @@ from __future__ import annotations
 
 import dataclasses
 import json
+import os
+import tempfile
+from pathlib import Path
 from typing import Any, Type
 
 import numpy as np
 
-__all__ = ["register_result", "save_result", "load_result", "to_jsonable", "REGISTRY"]
+__all__ = [
+    "register_result",
+    "save_result",
+    "load_result",
+    "to_jsonable",
+    "atomic_write_text",
+    "REGISTRY",
+]
 
 #: name -> dataclass for reconstruction.
 REGISTRY: dict[str, Type] = {}
@@ -77,10 +87,39 @@ def _from_jsonable(value: Any) -> Any:
     return value
 
 
+def atomic_write_text(path, write_fn) -> None:
+    """Crash-safe text write: *write_fn(fh)* streams into a temp file in
+    the destination directory, which is fsynced and renamed over *path*.
+
+    A crash (or an exception from *write_fn*) at any point leaves either
+    the previous file intact or the new file whole — never a truncated
+    mix — and cleans up the temp file.
+    """
+    path = Path(path)
+    fd, tmp = tempfile.mkstemp(
+        dir=path.parent or Path("."), prefix=f".{path.name}.", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as fh:
+            write_fn(fh)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
 def save_result(path, result: Any) -> None:
-    """Write a registered result dataclass (or a dict of them) as JSON."""
-    with open(path, "w", encoding="utf-8") as fh:
-        json.dump(to_jsonable(result), fh, indent=1)
+    """Write a registered result dataclass (or a dict of them) as JSON.
+
+    The write is atomic: a crash mid-serialisation (hours into a sweep)
+    cannot truncate or corrupt a previously saved file.
+    """
+    atomic_write_text(path, lambda fh: json.dump(to_jsonable(result), fh, indent=1))
 
 
 def load_result(path) -> Any:
@@ -100,7 +139,9 @@ def _register_builtin_results() -> None:
         MisalignmentResult,
         MultijobResult,
     )
+    from repro.experiments.e9_resume import E9Result
     from repro.experiments.fig1 import Fig1Result
+    from repro.experiments.resilience import ResilienceResult
     from repro.experiments.speedup import SpeedupResult
     from repro.experiments.timer_threads import TimerThreadsResult
     from repro.experiments.workloads import SensitivityResult, WaitModeResult
@@ -118,6 +159,8 @@ def _register_builtin_results() -> None:
         MisalignmentResult,
         WaitModeResult,
         SensitivityResult,
+        ResilienceResult,
+        E9Result,
     ):
         register_result(cls)
 

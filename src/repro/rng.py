@@ -59,6 +59,23 @@ class StreamFactory:
             self._streams[name] = gen
         return gen
 
+    def snapshot_state(self) -> dict:
+        """Bit-exact state of every stream created so far.
+
+        ``Generator.bit_generator.state`` is a plain dict of Python ints
+        (PCG64 position + increment), so the snapshot is JSON-able and two
+        factories that made the same draws compare equal.  Streams are
+        keyed by name; restore-by-replay recreates them in the same order,
+        so equality of this dict is equality of all future draws.
+        """
+        return {
+            "seed": self.seed,
+            "streams": {
+                name: self._streams[name].bit_generator.state
+                for name in sorted(self._streams)
+            },
+        }
+
     def fork(self, salt: int) -> "StreamFactory":
         """Return a new factory whose streams are independent of this one.
 

@@ -114,6 +114,12 @@ class Simulator:
         self._seq = itertools.count()
         self._events_processed = 0
         self._running = False
+        #: Optional sanitizer hook invoked (with no arguments) after every
+        #: processed event.  Installed by
+        #: :class:`repro.checkpoint.monitor.InvariantMonitor` in sanitizer
+        #: mode; ``None`` (the default) costs one predicate per event and
+        #: adds no events, so baseline runs stay bit-identical.
+        self.on_event: Optional[Callable[[], None]] = None
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -174,6 +180,8 @@ class Simulator:
         ev.args = ()
         self._events_processed += 1
         fn(*args)
+        if self.on_event is not None:
+            self.on_event()
         return True
 
     def run_until(self, time: float, max_events: Optional[int] = None) -> int:
@@ -217,3 +225,13 @@ class Simulator:
     def pending(self) -> int:
         """Number of live events still queued."""
         return sum(1 for ev in self._heap if ev.active)
+
+    def active_events(self) -> list[Event]:
+        """Live queued events in firing order (checkpoint/introspection).
+
+        Cancelled entries are filtered out and the result is sorted by
+        ``(time, priority, seq)``, so two simulators that will fire the
+        same callbacks in the same order return equal-shaped lists even if
+        their internal heap layouts differ.
+        """
+        return sorted(ev for ev in self._heap if ev.active)

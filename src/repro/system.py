@@ -65,6 +65,8 @@ class System:
         if with_io:
             self.io_services = [IoService(node, priority=io_priority) for node in self.cluster.nodes]
         self.coscheds: list[JobCoscheduler] = []
+        #: Every job ever launched, in launch order (checkpoint walk).
+        self.jobs: list[MpiJob] = []
         #: Fault injector, or None when ``config.faults.enabled`` is off —
         #: in which case no hook of any kind is installed (zero overhead).
         self.injector: Optional[FaultInjector] = (
@@ -107,4 +109,34 @@ class System:
             self.coscheds.append(job_cosched)
         if self.injector is not None:
             self.injector.attach_job(job, job_cosched)
+        self.jobs.append(job)
         return job
+
+    def snapshot_state(self, desc) -> dict:
+        """Full-system checkpoint view: every mutable layer, one dict.
+
+        The describer normalises thread identity (tids are process-global
+        and differ between rebuilds), so two runs that performed the same
+        events produce byte-identical JSON — the property the checkpoint
+        fingerprint relies on.
+        """
+        return {
+            "cluster": self.cluster.snapshot_state(desc),
+            "daemons": [
+                {
+                    "name": h.spec.name,
+                    "node": h.node,
+                    "cpu": h.cpu,
+                    "thread": desc.thread(h.thread),
+                    "activations": h.activations[0],
+                }
+                for h in self.daemons
+            ],
+            "coscheds": [jc.snapshot_state(desc) for jc in self.coscheds],
+            "injector": (
+                self.injector.snapshot_state(desc)
+                if self.injector is not None
+                else None
+            ),
+            "jobs": [job.snapshot_state(desc) for job in self.jobs],
+        }

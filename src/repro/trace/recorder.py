@@ -120,6 +120,40 @@ class TraceRecorder:
             return
         self.faults.append(FaultEvent(kind, node, time, detail))
 
+    def snapshot_state(self, desc) -> dict:
+        """Checkpoint view: record counts plus content digests.
+
+        Digests use thread *names* rather than tids (tids come from a
+        module-global counter and differ between rebuilds of the same
+        run), so a restored-and-replayed run digests identically to the
+        uninterrupted one — the bit-identical-trace acceptance check.
+        """
+        import hashlib
+        import json
+
+        def digest(rows) -> str:
+            blob = json.dumps(rows, default=repr)
+            return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+        return {
+            "enabled": self.enabled,
+            "n_intervals": len(self.intervals),
+            "n_marks": len(self.marks),
+            "n_faults": len(self.faults),
+            "intervals": digest(
+                [
+                    [iv.node, iv.cpu, iv.name, iv.category, iv.t0, iv.t1]
+                    for iv in self.intervals
+                ]
+            ),
+            "marks": digest(
+                [[m.name, m.node, m.rank, m.time, repr(m.payload)] for m in self.marks]
+            ),
+            "faults": digest(
+                [[f.kind, f.node, f.time, repr(f.detail)] for f in self.faults]
+            ),
+        }
+
     def clear(self) -> None:
         """Drop all recorded intervals, marks, and fault events."""
         self.intervals.clear()

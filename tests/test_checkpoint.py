@@ -1,0 +1,232 @@
+"""Checkpoint/restore: policy validation, atomic writes, retention, and
+the round-trip determinism acceptance check (restore at T and continue →
+bit-identical to never having stopped)."""
+
+import pickle
+
+import pytest
+
+from repro.apps.aggregate_trace import AggregateTraceConfig, aggregate_trace_body
+from repro.checkpoint import (
+    CheckpointManager,
+    RestoreMismatch,
+    audit_event_callbacks,
+    capture_state,
+    list_checkpoints,
+    register_builder,
+    state_fingerprint,
+)
+from repro.config import (
+    CheckpointPolicy,
+    ClusterConfig,
+    CoschedConfig,
+    FaultConfig,
+    MachineConfig,
+    MpiConfig,
+    NodeFaultSpec,
+)
+from repro.system import System
+from repro.units import ms
+
+HORIZON = ms(400)
+CHUNK = ms(20)
+
+
+class MiniDriver:
+    """Small checkpointable run: 2 nodes, cosched, optional node crash."""
+
+    def __init__(self, seed: int, faults: bool) -> None:
+        fc = FaultConfig()
+        if faults:
+            fc = FaultConfig(
+                enabled=True,
+                msg_drop_prob=0.02,
+                node_faults=(
+                    NodeFaultSpec(node=1, kind="crash", at_us=ms(30), duration_us=ms(20)),
+                ),
+            )
+        cfg = ClusterConfig(
+            machine=MachineConfig(n_nodes=2, cpus_per_node=4),
+            cosched=CoschedConfig(enabled=True, period_us=ms(100)),
+            mpi=MpiConfig(progress_threads_enabled=False),
+            faults=fc,
+            seed=seed,
+        )
+        self.system = System(cfg)
+        self.sink: dict = {}
+        # Sized so the job stays busy past HORIZON: checkpoints land in a
+        # live simulation, not an idle one.
+        app = AggregateTraceConfig(
+            loops=20, calls_per_loop=16, trace_block=8, compute_between_us=ms(1)
+        )
+        self.job = self.system.launch(
+            8, 4, aggregate_trace_body(app, self.sink, set()), name="mini"
+        )
+
+
+@register_builder("test.mini")
+def build_mini(seed: int = 7, faults: bool = False) -> MiniDriver:
+    return MiniDriver(seed, faults)
+
+
+def drive(driver, to_us, mgr=None, start=0.0):
+    t = start
+    while t < to_us:
+        t = min(to_us, t + CHUNK)
+        driver.system.sim.run_until(t)
+        if mgr is not None:
+            mgr.tick()
+
+
+class TestCheckpointPolicy:
+    def test_enabled_requires_an_interval(self):
+        with pytest.raises(ValueError):
+            CheckpointPolicy(enabled=True)
+
+    @pytest.mark.parametrize(
+        "kw",
+        [
+            {"interval_sim_us": 0.0},
+            {"interval_sim_us": -1.0},
+            {"interval_wall_s": 0.0},
+            {"keep_last": 0},
+        ],
+    )
+    def test_bad_values_raise(self, kw):
+        with pytest.raises(ValueError):
+            CheckpointPolicy(**kw)
+
+    def test_disabled_manager_never_due(self, tmp_path):
+        d = build_mini()
+        mgr = CheckpointManager(d, "test.mini", {}, CheckpointPolicy(), tmp_path)
+        drive(d, ms(50), mgr)
+        assert not mgr.due() and mgr.written == []
+
+
+class TestCalendarAudit:
+    def test_mini_driver_calendar_is_rebuildable(self):
+        """Every queued callback is a bound method a rebuild recreates —
+        no closures, which a checkpoint could never restore."""
+        d = build_mini()
+        drive(d, ms(100))
+        assert audit_event_callbacks(d.system.sim) == []
+
+    def test_closure_callbacks_are_flagged(self):
+        d = build_mini()
+
+        def oops():
+            pass
+
+        d.system.sim.schedule(50.0, oops)
+        offenders = audit_event_callbacks(d.system.sim)
+        assert offenders and all("<locals>" in ref for ref in offenders)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("faults", [False, True])
+    def test_restore_and_continue_is_bit_identical(self, tmp_path, faults):
+        """The acceptance check: crash at 60 %, resume from the last
+        checkpoint, run to the horizon — same fingerprint as a run that
+        was never interrupted, with and without injected faults."""
+        args = {"seed": 7, "faults": faults}
+        policy = CheckpointPolicy(enabled=True, interval_sim_us=ms(80), keep_last=2)
+
+        ref = build_mini(**args)
+        drive(ref, HORIZON)
+        fp_ref = state_fingerprint(capture_state(ref.system))
+
+        victim = build_mini(**args)
+        mgr = CheckpointManager(victim, "test.mini", args, policy, tmp_path)
+        drive(victim, 0.6 * HORIZON, mgr)
+        assert mgr.written  # at least one checkpoint landed before the "crash"
+        del victim, mgr
+
+        resumed = CheckpointManager.resume_latest(tmp_path, policy=policy)
+        assert resumed is not None
+        assert resumed.system.sim.now < HORIZON  # genuinely resumed mid-run
+        drive(resumed.driver, HORIZON, resumed, start=resumed.system.sim.now)
+        assert resumed.system.sim.events_processed == ref.system.sim.events_processed
+        assert state_fingerprint(capture_state(resumed.system)) == fp_ref
+
+    def test_resume_latest_empty_dir_returns_none(self, tmp_path):
+        assert CheckpointManager.resume_latest(tmp_path) is None
+
+
+class TestWriteDiscipline:
+    def test_atomic_writes_leave_no_temp_files(self, tmp_path):
+        d = build_mini()
+        policy = CheckpointPolicy(enabled=True, interval_sim_us=ms(40), keep_last=2)
+        mgr = CheckpointManager(d, "test.mini", {}, policy, tmp_path)
+        drive(d, ms(200), mgr)
+        assert list(tmp_path.glob("*.tmp")) == []
+        assert list(tmp_path.glob(".ckpt-*")) == []
+
+    def test_keep_last_prunes_old_checkpoints(self, tmp_path):
+        d = build_mini()
+        policy = CheckpointPolicy(enabled=True, interval_sim_us=ms(40), keep_last=2)
+        mgr = CheckpointManager(d, "test.mini", {}, policy, tmp_path)
+        drive(d, ms(400), mgr)
+        on_disk = list_checkpoints(tmp_path)
+        assert len(on_disk) == 2
+        # The newest two survive, in event order.
+        assert on_disk == mgr.written
+
+    def test_cadence_respects_interval(self, tmp_path):
+        d = build_mini()
+        policy = CheckpointPolicy(enabled=True, interval_sim_us=ms(100), keep_last=10)
+        mgr = CheckpointManager(d, "test.mini", {}, policy, tmp_path)
+        drive(d, ms(400), mgr)
+        # 400ms at a 100ms cadence: 4 checkpoints, ±1 for chunk phasing.
+        assert 3 <= len(mgr.written) <= 5
+
+
+class TestRestoreVerification:
+    def test_tampered_fingerprint_is_rejected(self, tmp_path):
+        d = build_mini()
+        policy = CheckpointPolicy(enabled=True, interval_sim_us=ms(40))
+        mgr = CheckpointManager(d, "test.mini", {}, policy, tmp_path)
+        drive(d, ms(100), mgr)
+        path = mgr.written[-1]
+        with open(path, "rb") as fh:
+            payload = pickle.load(fh)
+        payload["fingerprint"] = "0" * 64
+        with open(path, "wb") as fh:
+            pickle.dump(payload, fh)
+        with pytest.raises(RestoreMismatch):
+            CheckpointManager.restore(path)
+
+    def test_wrong_builder_args_are_rejected(self, tmp_path):
+        """A checkpoint whose builder args no longer reproduce the run
+        (here: a different seed) must refuse to continue."""
+        d = build_mini(seed=7)
+        policy = CheckpointPolicy(enabled=True, interval_sim_us=ms(40))
+        mgr = CheckpointManager(d, "test.mini", {"seed": 7}, policy, tmp_path)
+        drive(d, ms(100), mgr)
+        path = mgr.written[-1]
+        with open(path, "rb") as fh:
+            payload = pickle.load(fh)
+        payload["args"] = {"seed": 8}
+        with open(path, "wb") as fh:
+            pickle.dump(payload, fh)
+        with pytest.raises(RestoreMismatch):
+            CheckpointManager.restore(path)
+
+
+class TestZeroOverhead:
+    def test_monitoring_leaves_the_run_bit_identical(self, tmp_path):
+        """Checkpointing + full invariant passes + the per-event sanitizer
+        add zero events and perturb nothing: the monitored run's state
+        fingerprint equals the plain run's."""
+        plain = build_mini()
+        drive(plain, ms(200))
+        fp_plain = state_fingerprint(capture_state(plain.system))
+
+        watched = build_mini()
+        policy = CheckpointPolicy(
+            enabled=True, interval_sim_us=ms(50), keep_last=3, sanitize=True
+        )
+        mgr = CheckpointManager(watched, "test.mini", {}, policy, tmp_path)
+        drive(watched, ms(200), mgr)
+        assert mgr.written  # checkpoints (and invariant passes) happened
+        assert watched.system.sim.events_processed == plain.system.sim.events_processed
+        assert state_fingerprint(capture_state(watched.system)) == fp_plain

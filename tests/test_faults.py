@@ -249,6 +249,51 @@ class TestReliableTransport:
         assert slow > clean
         assert slow_sys.injector.net_plane.delays > 0
 
+    def test_backoff_cap_reached_exactly_at_retry_limit(self):
+        """Edge case: the timeout hits max_timeout_us on the very retry
+        that is also the last before the forced path.  The cap must apply
+        (not overshoot), and the forced attempt must carry no timer.
+
+        Timeline (timeout 10, backoff 2, cap 40, max_attempts 4):
+        t=10 attempt 2 → timeout 20; t=30 attempt 3 → timeout 40 == cap;
+        t=70 attempt 4 == limit → link-guaranteed path, no timer.
+        """
+        from repro.config import NetworkConfig
+        from repro.mpi.messages import Message, ReliableTransport
+        from repro.net.fabric import Fabric
+
+        class DropAll:
+            def plan(self, src, dst, nbytes):
+                return ()  # every faultable copy is eaten
+
+        sim = Simulator()
+        fabric = Fabric(sim, NetworkConfig())
+        fabric.fault_plane = DropAll()
+        delivered = []
+        rel = ReliableTransport(
+            sim, fabric, delivered.append,
+            timeout_us=10.0, backoff=2.0, max_timeout_us=40.0, max_attempts=4,
+        )
+        rel.send(0, 1, Message(src=0, dst=1, tag=0, payload="p", nbytes=8))
+        entry = rel._inflight[0]
+        assert (entry[3], entry[4]) == (1, 10.0)
+
+        sim.run_until(11.0)
+        assert (entry[3], entry[4]) == (2, 20.0)
+        sim.run_until(31.0)
+        assert (entry[3], entry[4]) == (3, 40.0)  # capped exactly, not 80
+        assert entry[4] == rel.max_timeout_us
+        sim.run_until(71.0)
+        # Final attempt == max_attempts: forced path, timer slot cleared.
+        assert entry[3] == rel.max_attempts
+        assert entry[5] is None
+        assert rel.forced == 1 and rel.retransmits == 3
+        assert not delivered  # still on the wire
+
+        sim.run(max_events=100)
+        assert [m.payload for m in delivered] == ["p"]
+        assert rel._delivered == {0} and not rel._inflight
+
 
 # ----------------------------------------------------------------------
 # Node-level fault primitives
@@ -428,6 +473,45 @@ class TestWatchdog:
         ]
         assert restarted and restarted[0].detail == "hung"
         assert sysm.coscheds[0].restarts >= 1
+
+    def test_restart_of_hung_daemon_kills_the_wedged_thread(self):
+        """Edge case: restart while the daemon is *hung*, not dead.  The
+        wedged thread is still alive (sleeping past its deadline), so the
+        watchdog must kill it before installing the replacement — and the
+        replacement must re-learn every registered task."""
+        faults = FaultConfig(
+            enabled=True,
+            cosched_faults=(
+                # Hang outlives the whole run: the old daemon thread can
+                # only reach FINISHED via the watchdog's kill.
+                CoschedFaultSpec(node=0, at_us=ms(300), kind="hang", duration_us=s(30)),
+            ),
+            watchdog_interval_us=ms(100),
+            watchdog_staleness_periods=2.0,
+        )
+        sysm = self._system(faults)
+
+        def body(rank, api):
+            yield from api.compute(ms(1400))
+
+        job = sysm.launch(8, 4, body)
+        jc = sysm.coscheds[0]
+        old_nc = jc.node_coscheds[0]
+        job.run(horizon_us=s(60))
+
+        assert jc.restarts >= 1
+        assert jc.node_coscheds[0] is not old_nc
+        # Killed while wedged-alive — it never exited on its own.
+        assert old_nc.thread.state is ThreadState.FINISHED
+        kinds = {ev.kind for ev in sysm.injector.events}
+        assert "cosched_died" not in kinds  # hung, not dead
+        details = [
+            ev.detail for ev in sysm.injector.events
+            if ev.kind == "cosched_restarted"
+        ]
+        assert details and all(d == "hung" for d in details)
+        nc = jc.node_coscheds[0]
+        assert all(nc.knows(t) for t in jc.node_tasks(0))
 
     def test_lossy_pipe_registrations_recovered_by_audit(self):
         faults = FaultConfig(

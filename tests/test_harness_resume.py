@@ -1,0 +1,161 @@
+"""Crash-safe experiment harness: journal resume, failure holes, the
+wall-clock trial watchdog, and atomic result writes."""
+
+import json
+import os
+import signal
+import time
+
+import numpy as np
+import pytest
+
+from repro.analytic.model import AllreduceSeriesModel
+from repro.checkpoint.harness import SweepJournal, TrialTimeout, trial_watchdog
+from repro.experiments.common import PROTO16, VANILLA16, allreduce_sweep
+from repro.results import load_result, save_result
+
+COUNTS = (128, 256)
+SWEEP_KW = dict(proc_counts=COUNTS, n_calls=50, n_seeds=2)
+
+
+class TestJournalResume:
+    def test_resumed_sweep_is_bit_identical(self, tmp_path):
+        """Kill the campaign after the first count; the resumed sweep
+        serves finished trials from the journal and lands exactly equal
+        to a sweep that never stopped."""
+        allreduce_sweep(PROTO16, proc_counts=COUNTS[:1],
+                        n_calls=50, n_seeds=2, journal=SweepJournal(tmp_path))
+
+        resumed_journal = SweepJournal(tmp_path)
+        resumed = allreduce_sweep(PROTO16, **SWEEP_KW, journal=resumed_journal)
+        uninterrupted = allreduce_sweep(PROTO16, **SWEEP_KW)
+
+        assert resumed_journal.hits == 2  # one count × two seeds skipped
+        assert np.array_equal(resumed.mean_us, uninterrupted.mean_us)
+        assert np.array_equal(resumed.run_std_us, uninterrupted.run_std_us)
+        assert np.array_equal(resumed.call_std_us, uninterrupted.call_std_us)
+
+    def test_full_journal_skips_everything(self, tmp_path):
+        first = allreduce_sweep(PROTO16, **SWEEP_KW, journal=SweepJournal(tmp_path))
+        j = SweepJournal(tmp_path)
+        again = allreduce_sweep(PROTO16, **SWEEP_KW, journal=j)
+        assert j.hits == len(COUNTS) * 2
+        assert np.array_equal(first.mean_us, again.mean_us)
+
+    def test_torn_journal_entry_is_recomputed(self, tmp_path):
+        allreduce_sweep(PROTO16, **SWEEP_KW, journal=SweepJournal(tmp_path))
+        j = SweepJournal(tmp_path)
+        victim = sorted(j.dir.glob("*.json"))[0]
+        victim.write_text('{"status": "ok", "rec')  # torn mid-write
+        assert j.lookup(victim.stem) is None
+        again = allreduce_sweep(PROTO16, **SWEEP_KW, journal=j)
+        assert j.hits == len(COUNTS) * 2 - 1  # the torn one recomputed
+        uninterrupted = allreduce_sweep(PROTO16, **SWEEP_KW)
+        assert np.array_equal(again.mean_us, uninterrupted.mean_us)
+
+    def test_clear_resets_the_journal(self, tmp_path):
+        j = SweepJournal(tmp_path)
+        j.record("k", {"mean_us": 1.0, "std_us": 0.0})
+        assert j.lookup("k") is not None
+        j.clear()
+        assert j.lookup("k") is None
+        assert list(j.dir.glob("*.json")) == []
+
+
+class TestFailedTrials:
+    def test_failed_trial_leaves_a_nan_hole(self, tmp_path, monkeypatch):
+        """A count whose every seed blows up yields NaN in the arrays and
+        named keys in failed_points — the campaign finishes anyway."""
+        real = AllreduceSeriesModel.run_series
+
+        def sabotaged(self, *a, **kw):
+            if self.n == 256:
+                raise RuntimeError("boom")
+            return real(self, *a, **kw)
+
+        monkeypatch.setattr(AllreduceSeriesModel, "run_series", sabotaged)
+        j = SweepJournal(tmp_path)
+        res = allreduce_sweep(VANILLA16, **SWEEP_KW, journal=j)
+        assert sorted(res.failed_points) == [
+            "vanilla16-n256-s0", "vanilla16-n256-s1",
+        ]
+        assert np.isnan(res.mean_us[1]) and not np.isnan(res.mean_us[0])
+        # The failure is journaled for forensics...
+        entries = j.entries()
+        assert entries["vanilla16-n256-s0"]["status"] == "failed"
+        assert "boom" in entries["vanilla16-n256-s0"]["reason"]
+
+    def test_failed_trials_are_retried_on_resume(self, tmp_path, monkeypatch):
+        real = AllreduceSeriesModel.run_series
+
+        def flaky(self, *a, **kw):
+            if self.n == 256:
+                raise RuntimeError("transient")
+            return real(self, *a, **kw)
+
+        monkeypatch.setattr(AllreduceSeriesModel, "run_series", flaky)
+        allreduce_sweep(VANILLA16, **SWEEP_KW, journal=SweepJournal(tmp_path))
+        monkeypatch.setattr(AllreduceSeriesModel, "run_series", real)
+
+        # ... environment fixed: the resume recomputes only the failures.
+        j = SweepJournal(tmp_path)
+        resumed = allreduce_sweep(VANILLA16, **SWEEP_KW, journal=j)
+        assert j.hits == 2  # the n=128 seeds came from the journal
+        assert resumed.failed_points == []
+        uninterrupted = allreduce_sweep(VANILLA16, **SWEEP_KW)
+        assert np.array_equal(resumed.mean_us, uninterrupted.mean_us)
+
+
+class TestTrialWatchdog:
+    def test_timeout_raises_trialtimeout(self):
+        if not hasattr(signal, "SIGALRM"):
+            pytest.skip("no SIGALRM on this platform")
+        deadline = time.monotonic() + 30.0
+        with pytest.raises(TrialTimeout):
+            with trial_watchdog(0.1):
+                while time.monotonic() < deadline:
+                    pass  # wedged trial; the watchdog must break the loop
+        assert time.monotonic() < deadline  # escaped long before 30s
+
+    def test_no_budget_is_a_noop(self):
+        with trial_watchdog(None):
+            pass
+        with trial_watchdog(0):
+            pass
+
+    def test_timer_is_restored_after_the_trial(self):
+        if not hasattr(signal, "SIGALRM"):
+            pytest.skip("no SIGALRM on this platform")
+        with trial_watchdog(5.0):
+            pass
+        assert signal.getitimer(signal.ITIMER_REAL) == (0.0, 0.0)
+
+
+class TestAtomicSaveResult:
+    def test_crash_mid_write_preserves_the_old_file(self, tmp_path, monkeypatch):
+        """Simulate dying halfway through serialisation: the previously
+        saved result must survive untouched and no temp litter remains."""
+        path = tmp_path / "sweep.json"
+        res = allreduce_sweep(PROTO16, proc_counts=(128,), n_calls=20, n_seeds=1)
+        save_result(path, res)
+        before = path.read_bytes()
+
+        def dies_mid_write(obj, fh, **kw):
+            fh.write('{"type": "SweepResult", "fields": {"scen')
+            raise OSError("disk gone")
+
+        monkeypatch.setattr("repro.results.json.dump", dies_mid_write)
+        with pytest.raises(OSError):
+            save_result(path, res)
+        assert path.read_bytes() == before  # old file intact, not torn
+        assert list(tmp_path.glob("*.tmp")) == []
+        assert list(tmp_path.glob(".sweep.json.*")) == []
+
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "sweep.json"
+        res = allreduce_sweep(PROTO16, proc_counts=(128,), n_calls=20, n_seeds=1)
+        save_result(path, res)
+        loaded = load_result(path)
+        assert np.array_equal(loaded.mean_us, res.mean_us)
+        assert loaded.scenario == res.scenario
+        assert loaded.failed_points == []
