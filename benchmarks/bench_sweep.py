@@ -1,0 +1,96 @@
+"""Wall-clock benchmark for the parallel TrialRunner (satellite of PR 3).
+
+Runs the canonical ``proto16`` sweep (the ``--quick`` Figure-5 campaign:
+paper processor counts 128/512/944/1728, 150 calls, 2 seeds → 8 trials)
+at ``--jobs 1`` and ``--jobs 4``, checks the runs are bit-identical, and
+records wall-clock plus environment facts to ``BENCH_sweep.json``.
+
+The speedup column is only meaningful relative to ``cpu_count``: on a
+single-core runner the pool pays fork/pickle overhead with nothing to
+overlap, so ``jobs 4`` can be ≤ 1×; on a 4-core runner the 8 trials
+(~equal cost each) should land ≥ 2×.  The JSON records ``cpu_count`` so
+readers can interpret the numbers honestly.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_sweep.py [--out BENCH_sweep.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+
+import numpy as np
+
+from repro.experiments.common import PROTO16, allreduce_sweep
+
+SWEEP_KW = dict(
+    proc_counts=(128, 512, 944, 1728),
+    n_calls=150,
+    n_seeds=2,
+)
+
+
+def time_sweep(jobs: int) -> tuple[float, "np.ndarray"]:
+    t0 = time.perf_counter()
+    result = allreduce_sweep(PROTO16, **SWEEP_KW, jobs=jobs)
+    return time.perf_counter() - t0, result.mean_us
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default="BENCH_sweep.json")
+    parser.add_argument(
+        "--jobs", type=int, nargs="+", default=[1, 4],
+        help="worker-process counts to time (default: 1 4)",
+    )
+    args = parser.parse_args(argv)
+
+    runs = []
+    baseline_mean = None
+    baseline_wall = None
+    for jobs in args.jobs:
+        wall, mean_us = time_sweep(jobs)
+        if baseline_mean is None:
+            baseline_mean, baseline_wall = mean_us, wall
+        elif not np.array_equal(mean_us, baseline_mean):
+            print(f"FAIL: jobs={jobs} result differs from jobs={args.jobs[0]}")
+            return 1
+        runs.append({
+            "jobs": jobs,
+            "wall_s": round(wall, 3),
+            "speedup_vs_jobs1": round(baseline_wall / wall, 2),
+        })
+        print(f"jobs={jobs}: {wall:.2f}s  (x{baseline_wall / wall:.2f})")
+
+    report = {
+        "benchmark": "proto16 quick sweep via TrialRunner",
+        "sweep": {
+            "scenario": "proto16",
+            "proc_counts": list(SWEEP_KW["proc_counts"]),
+            "n_calls": SWEEP_KW["n_calls"],
+            "n_seeds": SWEEP_KW["n_seeds"],
+            "trials": len(SWEEP_KW["proc_counts"]) * SWEEP_KW["n_seeds"],
+        },
+        "environment": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "cpu_count": os.cpu_count(),
+        },
+        "bit_identical_across_jobs": True,
+        "runs": runs,
+    }
+    with open(args.out, "w") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+    print(f"[wrote {args.out}]")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

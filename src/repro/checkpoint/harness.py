@@ -68,17 +68,57 @@ class SweepJournal:
     ``"proto16-n512-s2"``) sanitised for the filesystem.  ``lookup``
     returns the recorded result for finished trials (and counts the hit,
     so resume tests can assert how much work was skipped).
+
+    Multiprocess safety: a journal opened with a *shard* name (as each
+    :class:`~repro.experiments.runner.TrialRunner` worker process does)
+    writes its entries under ``journal/shards/<shard>/`` with the same
+    atomic temp + ``os.replace`` discipline, so concurrent workers never
+    contend on a path.  Readers (``lookup`` / ``entries``, always the
+    parent process) first fold any shard files into the canonical
+    directory via :meth:`merge_shards` — a rename per file, atomic on the
+    same filesystem — so after any run, parallel or serial, the journal
+    directory holds one identical set of per-key files.
     """
 
-    def __init__(self, root) -> None:
+    def __init__(self, root, shard: Optional[str] = None) -> None:
         self.root = Path(root)
         self.dir = self.root / "journal"
-        self.dir.mkdir(parents=True, exist_ok=True)
+        self.shards_dir = self.dir / "shards"
+        if shard is not None:
+            self._write_dir = self.shards_dir / _UNSAFE.sub("_", shard)
+        else:
+            self._write_dir = self.dir
+        self._write_dir.mkdir(parents=True, exist_ok=True)
         #: Successful lookups served from the journal (resume telemetry).
         self.hits = 0
 
     def _path(self, key: str) -> Path:
-        return self.dir / f"{_UNSAFE.sub('_', key)}.json"
+        return self._write_dir / f"{_UNSAFE.sub('_', key)}.json"
+
+    def merge_shards(self) -> int:
+        """Fold per-worker shard entries into the canonical directory.
+
+        Idempotent and crash-safe: each shard file is ``os.replace``d into
+        place (trials are deterministic, so a same-key duplicate carries
+        identical bytes and last-writer-wins is harmless).  Returns the
+        number of entries moved.
+        """
+        if not self.shards_dir.is_dir():
+            return 0
+        moved = 0
+        for entry in sorted(self.shards_dir.glob("*/*.json")):
+            os.replace(entry, self.dir / entry.name)
+            moved += 1
+        for shard_dir in sorted(self.shards_dir.iterdir()):
+            try:
+                shard_dir.rmdir()
+            except OSError:
+                pass
+        try:
+            self.shards_dir.rmdir()
+        except OSError:
+            pass
+        return moved
 
     def lookup(self, key: str) -> Optional[dict]:
         """The journaled record for *key* if it finished OK, else None.
@@ -86,7 +126,8 @@ class SweepJournal:
         Failed entries return None on purpose: failures are retried on
         resume, not skipped (see the module docstring).
         """
-        path = self._path(key)
+        self.merge_shards()
+        path = self.dir / f"{_UNSAFE.sub('_', key)}.json"
         if not path.is_file():
             return None
         try:
@@ -109,6 +150,7 @@ class SweepJournal:
 
     def entries(self) -> dict[str, dict]:
         """All journal entries by sanitised key (forensics/tests)."""
+        self.merge_shards()
         out = {}
         for p in sorted(self.dir.glob("*.json")):
             try:
@@ -119,7 +161,8 @@ class SweepJournal:
         return out
 
     def clear(self) -> None:
-        """Delete every journal entry (fresh-run semantics)."""
+        """Delete every journal entry, shards included (fresh-run semantics)."""
+        self.merge_shards()
         for p in self.dir.glob("*.json"):
             try:
                 p.unlink()

@@ -6,6 +6,12 @@ renders the same rows as an aligned text table (no plotting libraries in
 this environment).  The CLI (``repro-experiments``) and the benchmark
 suite both call these runners.
 
+Execution goes through :mod:`repro.experiments.runner`: campaigns build
+declarative :class:`TrialSpec` lists and a :class:`TrialRunner` executes
+them — serially or across ``--jobs N`` worker processes — with journal
+resume and per-trial watchdogs applied uniformly.  Parallel and serial
+runs are bit-identical by construction.
+
 Scale note: sweeps at paper processor counts (128–1728 CPUs) run on the
 vectorised :mod:`repro.analytic` model; mechanism-level experiments
 (Fig 4 attribution, ALE3D I/O, timer threads, Fig 1 overlap) run on the
@@ -13,6 +19,7 @@ discrete-event simulator at reduced scale, stating any time compression
 they apply.
 """
 
+from repro.experiments.runner import TrialOutcome, TrialRunner, TrialSpec
 from repro.experiments.common import (
     PROTO16,
     Scenario,
@@ -20,6 +27,7 @@ from repro.experiments.common import (
     VANILLA15,
     VANILLA16,
     allreduce_sweep,
+    allreduce_trial_specs,
     make_config,
 )
 from repro.experiments.fig1 import Fig1Result, run_fig1
@@ -34,6 +42,10 @@ from repro.experiments.resilience import ResilienceResult, run_resilience
 __all__ = [
     "Scenario",
     "SweepResult",
+    "TrialOutcome",
+    "TrialRunner",
+    "TrialSpec",
+    "allreduce_trial_specs",
     "VANILLA16",
     "VANILLA15",
     "PROTO16",

@@ -19,11 +19,15 @@ binomial reduce+broadcast) from DESIGN.md §4.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
 
 from repro.analytic.model import AllreduceSeriesModel
 from repro.config import CoschedConfig, KernelConfig, MpiConfig
 from repro.experiments.common import make_config, VANILLA16
 from repro.experiments.reporting import text_table
+from repro.experiments.runner import TrialRunner, TrialSpec
 
 __all__ = ["AblationResult", "run_ablation", "format_ablation"]
 
@@ -79,22 +83,60 @@ def _step_configs():
     return steps
 
 
-def run_ablation(
-    n_ranks: int = 944, n_calls: int = 400, seed: int = 21, n_seeds: int = 3
-) -> AblationResult:
-    """Run the cumulative ablation at *n_ranks*, averaging seeds."""
-    import numpy as np
+def _ablation_trial(params: dict) -> dict:
+    """One (cumulative step, seed) trial; the step index is pure data and
+    the configs rebuild identically in any process (see
+    :mod:`repro.experiments.runner`)."""
+    _label, kernel, mpi, cosched = _step_configs()[params["step"]]
+    n_ranks = params["n_ranks"]
+    cfg = make_config(VANILLA16, n_ranks, seed=params["seed"]).replace(
+        kernel=kernel, mpi=mpi, cosched=cosched
+    )
+    model = AllreduceSeriesModel(cfg, n_ranks, 16, seed=params["model_seed"])
+    series = model.run_series(params["n_calls"], compute_between_us=200.0)
+    return {"mean_us": series.mean_us}
 
+
+def run_ablation(
+    n_ranks: int = 944,
+    n_calls: int = 400,
+    seed: int = 21,
+    n_seeds: int = 3,
+    journal=None,
+    trial_timeout_s: Optional[float] = None,
+    jobs: int = 1,
+) -> AblationResult:
+    """Run the cumulative ablation at *n_ranks*, averaging seeds.
+
+    The 6 steps × *n_seeds* trials are independent and run through
+    :class:`~repro.experiments.runner.TrialRunner` (``jobs`` workers,
+    journal resume, per-trial watchdog).
+    """
+    runner = TrialRunner(jobs=jobs, journal=journal, trial_timeout_s=trial_timeout_s)
+    steps = _step_configs()
+    specs = [
+        TrialSpec(
+            key=f"ablation-n{n_ranks}-step{i}-s{k}",
+            fn="repro.experiments.ablation:_ablation_trial",
+            params=dict(
+                step=i,
+                n_ranks=n_ranks,
+                seed=seed + k,
+                model_seed=seed + 31 * k,
+                n_calls=n_calls,
+            ),
+        )
+        for i in range(len(steps))
+        for k in range(n_seeds)
+    ]
+    by_key = {o.key: o for o in runner.run(specs)}
     rows = []
     baseline = None
-    for label, kernel, mpi, cosched in _step_configs():
-        means = []
-        for k in range(n_seeds):
-            cfg = make_config(VANILLA16, n_ranks, seed=seed + k).replace(
-                kernel=kernel, mpi=mpi, cosched=cosched
-            )
-            model = AllreduceSeriesModel(cfg, n_ranks, 16, seed=seed + 31 * k)
-            means.append(model.run_series(n_calls, compute_between_us=200.0).mean_us)
+    for i, (label, *_cfgs) in enumerate(steps):
+        means = [
+            by_key[f"ablation-n{n_ranks}-step{i}-s{k}"].require()["mean_us"]
+            for k in range(n_seeds)
+        ]
         mean = float(np.mean(means))
         if baseline is None:
             baseline = mean

@@ -5,13 +5,22 @@
     repro-experiments fig1 fig3 fig4 fig5 fig6 tpn15 speedup timers ale3d ablation
     repro-experiments extensions          # E1-E6
     repro-experiments all --quick
+    repro-experiments fig6 --jobs 4       # trials across 4 worker processes
     repro-experiments fig3 fig6 --csv results/   # also dump CSV series
     repro-experiments fig6 --results results/run1         # JSON + journal
     repro-experiments fig6 --results results/run1 --resume  # skip done trials
     repro-experiments e9 --quick          # crash/restart round-trip check
 
+Parallelism: ``--jobs N`` fans the independent (scenario, count, seed)
+trials of every campaign out over N worker processes via
+:class:`repro.experiments.runner.TrialRunner`.  Results and journals are
+bit-identical to a serial run — trials are pure functions of their specs
+and outcomes merge in spec order — so ``--jobs`` is purely a wall-clock
+lever.
+
 Crash safety: with ``--results DIR`` every sweep journals each finished
-(count, seed) trial under ``DIR/journal/``; after a crash (or kill -9),
+(count, seed) trial under ``DIR/journal/`` (worker processes write
+per-process shards, merged on read); after a crash (or kill -9),
 re-running with ``--resume`` skips completed trials and recomputes only
 the rest — bit-identically.  Without ``--resume`` the journal is cleared
 for fresh-run semantics.  ``--trial-timeout`` bounds each trial's
@@ -106,7 +115,14 @@ def main(argv: list[str] | None = None) -> int:
         help="wall-clock budget per sweep trial; timed-out trials become "
              "recorded holes instead of hanging the campaign",
     )
+    parser.add_argument(
+        "--jobs", type=int, metavar="N", default=1,
+        help="run independent trials across N worker processes "
+             "(default: 1, serial); results are bit-identical either way",
+    )
     args = parser.parse_args(argv)
+    if args.jobs < 1:
+        parser.error("--jobs must be >= 1")
 
     journal = None
     if args.results:
@@ -150,7 +166,11 @@ def main(argv: list[str] | None = None) -> int:
         print(f"[json: {path}]")
 
     qa = _quick_kwargs(args.quick)
-    harness = {"journal": journal, "trial_timeout_s": args.trial_timeout}
+    harness = {
+        "journal": journal,
+        "trial_timeout_s": args.trial_timeout,
+        "jobs": args.jobs,
+    }
     for name in wanted:
         t0 = time.time()
         print(f"=== {name} " + "=" * (60 - len(name)))
@@ -191,13 +211,13 @@ def main(argv: list[str] | None = None) -> int:
             csv_out("tpn15", sweep_headers, res.rows())
             save_json("tpn15", res)
         elif name == "speedup":
-            print(format_speedup(run_speedup154()))
+            print(format_speedup(run_speedup154(**harness)))
         elif name == "timers":
             print(format_timer_threads(run_timer_threads()))
         elif name == "ale3d":
             print(format_ale3d_io(run_ale3d_io()))
         elif name == "ablation":
-            print(format_ablation(run_ablation()))
+            print(format_ablation(run_ablation(**harness)))
         elif name == "multijob":
             print(format_multijob(run_multijob()))
         elif name == "hw":
@@ -208,7 +228,7 @@ def main(argv: list[str] | None = None) -> int:
             print(format_misalignment(run_misalignment()))
         elif name == "resilience":
             rqa = {"n_ranks": 16, "calls": 1000} if args.quick else {}
-            res = run_resilience(**rqa)
+            res = run_resilience(**rqa, **harness)
             print(format_resilience(res))
             save_json("resilience", res)
         elif name == "e9":
@@ -237,7 +257,7 @@ def main(argv: list[str] | None = None) -> int:
         elif name == "validate":
             from repro.experiments.validate import format_validation, run_validation
 
-            checks = run_validation()
+            checks = run_validation(jobs=args.jobs)
             print(format_validation(checks))
             if any(not c.passed for c in checks):
                 return 1

@@ -30,6 +30,7 @@ from repro.config import (
     NoiseConfig,
 )
 from repro.daemons.catalog import standard_noise
+from repro.experiments.runner import TrialRunner, TrialSpec
 
 __all__ = [
     "Scenario",
@@ -39,6 +40,7 @@ __all__ = [
     "make_config",
     "SweepResult",
     "allreduce_sweep",
+    "allreduce_trial_specs",
     "PAPER_PROC_COUNTS",
 ]
 
@@ -127,6 +129,54 @@ class SweepResult:
         ]
 
 
+def _allreduce_trial(params: dict) -> dict:
+    """One (scenario, count, seed) Allreduce-series trial.
+
+    The unit of work every sweep-style campaign schedules through
+    :class:`~repro.experiments.runner.TrialRunner`; must stay a top-level
+    function so worker processes can resolve it by name.
+    """
+    scenario: Scenario = params["scenario"]
+    n = params["n_ranks"]
+    cfg = make_config(scenario, n, seed=params["seed"])
+    model = AllreduceSeriesModel(
+        cfg, n, scenario.tasks_per_node, seed=params["model_seed"]
+    )
+    res = model.run_series(
+        params["n_calls"], compute_between_us=params["compute_between_us"]
+    )
+    return {"mean_us": res.mean_us, "std_us": res.std_us}
+
+
+def allreduce_trial_specs(
+    scenario: Scenario,
+    proc_counts: Sequence[int],
+    n_calls: int,
+    n_seeds: int,
+    compute_between_us: float = 200.0,
+    base_seed: int = 1000,
+) -> list[TrialSpec]:
+    """The sweep as pure data: one spec per (count, seed), journal keys
+    matching the historical ``<scenario>-n<procs>-s<seed>`` format so old
+    journals resume under the new runner."""
+    return [
+        TrialSpec(
+            key=f"{scenario.name}-n{n}-s{s}",
+            fn="repro.experiments.common:_allreduce_trial",
+            params=dict(
+                scenario=scenario,
+                n_ranks=int(n),
+                seed=base_seed + s,
+                model_seed=base_seed + 7 * s + int(n),
+                n_calls=n_calls,
+                compute_between_us=compute_between_us,
+            ),
+        )
+        for n in proc_counts
+        for s in range(n_seeds)
+    ]
+
+
 def allreduce_sweep(
     scenario: Scenario,
     proc_counts: Sequence[int] = PAPER_PROC_COUNTS,
@@ -136,6 +186,8 @@ def allreduce_sweep(
     base_seed: int = 1000,
     journal=None,
     trial_timeout_s: Optional[float] = None,
+    jobs: int = 1,
+    runner: Optional[TrialRunner] = None,
 ) -> SweepResult:
     """Model an aggregate_trace-style series at each processor count.
 
@@ -143,16 +195,21 @@ def allreduce_sweep(
     at least 3 runs, and each run is the result of thousands of
     Allreduces" (we default to hundreds per run; benchmarks may raise it).
 
-    Crash safety: with a :class:`repro.checkpoint.SweepJournal` supplied,
-    every finished ``(count, seed)`` trial is journaled atomically and a
-    re-run with the same journal skips it — a killed sweep resumes where
-    it died, bit-identically (JSON round-trips doubles exactly).  With
-    *trial_timeout_s*, each trial runs under a wall-clock watchdog; a
-    wedged or failing trial is recorded in ``failed_points`` (and in the
-    journal) and the sweep continues, leaving an explicit NaN hole when
-    a count loses all its seeds.
+    Execution policy lives in :class:`~repro.experiments.runner.TrialRunner`
+    (pass one via *runner*, or let *jobs*/*journal*/*trial_timeout_s* build
+    it): trials run serially or across ``jobs`` worker processes, finished
+    trials are journaled atomically and skipped on resume, and timed-out or
+    failing trials become recorded entries in ``failed_points`` — an
+    explicit NaN hole when a count loses all its seeds — instead of killing
+    the campaign.  Because trials are pure functions of their specs and
+    outcomes merge in spec order, ``jobs=N`` is bit-identical to serial.
     """
-    from repro.checkpoint.harness import trial_watchdog
+    if runner is None:
+        runner = TrialRunner(jobs=jobs, journal=journal, trial_timeout_s=trial_timeout_s)
+    specs = allreduce_trial_specs(
+        scenario, proc_counts, n_calls, n_seeds, compute_between_us, base_seed
+    )
+    outcomes = iter(runner.run(specs))
 
     means = np.empty(len(proc_counts))
     run_stds = np.empty(len(proc_counts))
@@ -161,32 +218,13 @@ def allreduce_sweep(
     for i, n in enumerate(proc_counts):
         per_seed = []
         per_std = []
-        for s in range(n_seeds):
-            key = f"{scenario.name}-n{n}-s{s}"
-            if journal is not None:
-                done = journal.lookup(key)
-                if done is not None:
-                    per_seed.append(done["mean_us"])
-                    per_std.append(done["std_us"])
-                    continue
-            try:
-                with trial_watchdog(trial_timeout_s):
-                    cfg = make_config(scenario, n, seed=base_seed + s)
-                    model = AllreduceSeriesModel(
-                        cfg, n, scenario.tasks_per_node, seed=base_seed + 7 * s + n
-                    )
-                    res = model.run_series(n_calls, compute_between_us=compute_between_us)
-            except Exception as exc:  # TrialTimeout, or a model blow-up
-                # under an adversarial config: record the hole, keep the
-                # campaign alive.  (KeyboardInterrupt still aborts.)
-                failed.append(key)
-                if journal is not None:
-                    journal.record_failure(key, f"{type(exc).__name__}: {exc}")
-                continue
-            per_seed.append(res.mean_us)
-            per_std.append(res.std_us)
-            if journal is not None:
-                journal.record(key, {"mean_us": res.mean_us, "std_us": res.std_us})
+        for _s in range(n_seeds):
+            outcome = next(outcomes)
+            if outcome.ok:
+                per_seed.append(outcome.record["mean_us"])
+                per_std.append(outcome.record["std_us"])
+            else:
+                failed.append(outcome.key)
         # A count whose every seed failed stays in the sweep as an
         # explicit NaN hole — downstream fits mask it, plots show a gap.
         means[i] = float(np.mean(per_seed)) if per_seed else float("nan")

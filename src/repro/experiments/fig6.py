@@ -55,9 +55,10 @@ def run_fig3(
 ) -> SweepResult:
     """Vanilla kernel, 16 tasks/node (Figure 3).
 
-    Extra keyword arguments (``journal``, ``trial_timeout_s``) pass
-    through to :func:`allreduce_sweep` for crash-safe campaigns; same for
-    the other sweep runners below.
+    Extra keyword arguments (``journal``, ``trial_timeout_s``, ``jobs``)
+    pass through to :func:`allreduce_sweep`, i.e. to its
+    :class:`~repro.experiments.runner.TrialRunner`, for crash-safe and/or
+    process-parallel campaigns; same for the other sweep runners below.
     """
     return _sweep(VANILLA16, proc_counts, n_calls, n_seeds, **harness)
 

@@ -26,6 +26,7 @@ co-scheduler periods.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.apps.aggregate_trace import AggregateTraceConfig, run_aggregate_trace
 from repro.config import (
@@ -39,10 +40,14 @@ from repro.config import (
 )
 from repro.daemons.catalog import scale_noise, standard_noise
 from repro.experiments.reporting import text_table
+from repro.experiments.runner import TrialRunner, TrialSpec
 from repro.system import System
 from repro.units import ms, s
 
 __all__ = ["ResilienceResult", "run_resilience", "format_resilience"]
+
+#: Message-drop probability of the lossy-fabric scenario.
+DROP_PROB = 0.01
 
 
 @dataclass
@@ -79,23 +84,28 @@ class ResilienceResult:
         return self.degraded_us / self.uncoordinated_us
 
 
-def run_resilience(
-    n_ranks: int = 32,
-    tpn: int = 8,
-    calls: int = 1500,
-    seed: int = 31,
-    time_compression: float = 50.0,
-) -> ResilienceResult:
-    """Run the five scenarios (healthy, timesync loss, uncoordinated
-    baseline, message loss, daemon death) on identically seeded systems.
+def _resilience_trial(params: dict) -> dict:
+    """Run one named resilience scenario on its own identically seeded
+    system and return the mean latency plus that scenario's resilience
+    counters (extracted here: live ``System`` objects never cross the
+    process boundary, their counters do).
 
-    Scale matches E4 (misalignment): each run must span several
-    co-scheduler periods, or the co-scheduler never engages and the
-    comparison measures tick-phase artifacts instead of coordination.
+    Top-level so :class:`~repro.experiments.runner.TrialRunner` workers
+    can resolve it by name; the five scenarios are independent DES runs,
+    so they parallelise like any other trial list.
     """
+    scenario = params["scenario"]
+    n_ranks = params["n_ranks"]
+    tpn = params["tpn"]
+    calls = params["calls"]
+    seed = params["seed"]
+    time_compression = params["time_compression"]
+
     noise = scale_noise(standard_noise(include_cron=False), time_compression)
     period = s(5) / time_compression
     big_tick = max(1, int(round(25 / time_compression)))
+    # Watchdog cadence scaled to the compressed co-scheduler period.
+    wd_interval = period / 2.0
 
     def build(sync: bool, faults: FaultConfig) -> System:
         cos = CoschedConfig(enabled=True, period_us=period, duty_cycle=0.90, sync_clock=sync)
@@ -124,73 +134,130 @@ def run_resilience(
         )
         return res.mean_us
 
-    # Watchdog cadence scaled to the compressed co-scheduler period.
-    wd_interval = period / 2.0
+    if scenario == "healthy":
+        # Healthy co-scheduled run (no faults installed at all).
+        return {"mean_us": run(build(sync=True, faults=FaultConfig()))}
 
-    # 1. Healthy co-scheduled run (no faults installed at all).
-    healthy = run(build(sync=True, faults=FaultConfig()))
+    if scenario == "uncoordinated":
+        # Uncoordinated baseline: windows never aligned (E4's pathology).
+        return {"mean_us": run(build(sync=False, faults=FaultConfig()))}
 
-    # 2. Uncoordinated baseline: windows never aligned (E4's pathology).
-    uncoordinated = run(build(sync=False, faults=FaultConfig()))
+    if scenario == "degraded":
+        # Timesync loss mid-run: clocks jump up to a full period apart and
+        # free-drift.  Injected inside the first favored window, so each
+        # daemon computes exactly one boundary from the broken grid (the
+        # scatter) before detecting the loss at its next cycle start and
+        # locking into free-running windows at its scattered phase.
+        faults = FaultConfig(
+            enabled=True,
+            timesync_loss_at_us=1.25 * period,
+            clock_jump_us=period,
+            clock_drift_rate=1e-4,
+            watchdog_interval_us=wd_interval,
+        )
+        system = build(sync=True, faults=faults)
+        mean = run(system)
+        degradations = sum(
+            1 for ev in system.injector.events if ev.kind == "timesync_degraded"
+        )
+        return {"mean_us": mean, "degradation_events": degradations}
 
-    # 3. Timesync loss mid-run: clocks jump up to a full period apart and
-    #    free-drift.  Injected inside the first favored window, so each
-    #    daemon computes exactly one boundary from the broken grid (the
-    #    scatter) before detecting the loss at its next cycle start and
-    #    locking into free-running windows at its scattered phase.
-    degraded_faults = FaultConfig(
-        enabled=True,
-        timesync_loss_at_us=1.25 * period,
-        clock_jump_us=period,
-        clock_drift_rate=1e-4,
-        watchdog_interval_us=wd_interval,
-    )
-    degraded_system = build(sync=True, faults=degraded_faults)
-    degraded = run(degraded_system)
-    degradation_events = sum(
-        1 for ev in degraded_system.injector.events if ev.kind == "timesync_degraded"
-    )
+    if scenario == "drop":
+        # Message loss with retransmit: must complete (no deadlock).
+        faults = FaultConfig(
+            enabled=True,
+            msg_drop_prob=DROP_PROB,
+            retransmit_timeout_us=ms(2),
+            retransmit_max_timeout_us=ms(16),
+            watchdog_interval_us=wd_interval,
+        )
+        system = build(sync=True, faults=faults)
+        mean = run(system, n_calls=max(100, calls // 3))
+        transport = system.coscheds[0].job.world.reliability
+        return {
+            "mean_us": mean,
+            "retransmits": transport.retransmits,
+            "forced": transport.forced,
+            "duplicates_dropped": transport.duplicates_dropped,
+            "net_drops": system.injector.net_plane.drops,
+        }
 
-    # 4. Message loss with retransmit: must complete (no deadlock).
-    drop_faults = FaultConfig(
-        enabled=True,
-        msg_drop_prob=0.01,
-        retransmit_timeout_us=ms(2),
-        retransmit_max_timeout_us=ms(16),
-        watchdog_interval_us=wd_interval,
-    )
-    drop_system = build(sync=True, faults=drop_faults)
-    drop = run(drop_system, n_calls=max(100, calls // 3))
-    transport = drop_system.coscheds[0].job.world.reliability
+    if scenario == "death":
+        # Daemon death on every job node, timed just after the unfavor
+        # flip — the worst case: tasks stuck at the unfavored priority
+        # until the watchdog restarts the daemon.
+        faults = FaultConfig(
+            enabled=True,
+            cosched_faults=tuple(
+                CoschedFaultSpec(node=n, at_us=1.95 * period, kind="die")
+                for n in range(-(-n_ranks // tpn))
+            ),
+            watchdog_interval_us=wd_interval,
+        )
+        system = build(sync=True, faults=faults)
+        mean = run(system)
+        restarts = sum(wd.restarts for wd in system.injector.watchdogs)
+        return {"mean_us": mean, "restarts": restarts}
 
-    # 5. Daemon death on every job node, timed just after the unfavor
-    #    flip — the worst case: tasks stuck at the unfavored priority
-    #    until the watchdog restarts the daemon.
-    death_faults = FaultConfig(
-        enabled=True,
-        cosched_faults=tuple(
-            CoschedFaultSpec(node=n, at_us=1.95 * period, kind="die")
-            for n in range(-(-n_ranks // tpn))
-        ),
-        watchdog_interval_us=wd_interval,
-    )
-    death_system = build(sync=True, faults=death_faults)
-    death = run(death_system)
-    death_restarts = sum(wd.restarts for wd in death_system.injector.watchdogs)
+    raise ValueError(f"unknown resilience scenario {scenario!r}")
 
+
+#: Scenario order of the E8 report.
+_SCENARIOS = ("healthy", "uncoordinated", "degraded", "drop", "death")
+
+
+def run_resilience(
+    n_ranks: int = 32,
+    tpn: int = 8,
+    calls: int = 1500,
+    seed: int = 31,
+    time_compression: float = 50.0,
+    journal=None,
+    trial_timeout_s: Optional[float] = None,
+    jobs: int = 1,
+) -> ResilienceResult:
+    """Run the five scenarios (healthy, timesync loss, uncoordinated
+    baseline, message loss, daemon death) on identically seeded systems.
+
+    Scale matches E4 (misalignment): each run must span several
+    co-scheduler periods, or the co-scheduler never engages and the
+    comparison measures tick-phase artifacts instead of coordination.
+    Each scenario is one :class:`~repro.experiments.runner.TrialSpec`, so
+    ``jobs=5`` runs them concurrently with identical results.
+    """
+    runner = TrialRunner(jobs=jobs, journal=journal, trial_timeout_s=trial_timeout_s)
+    specs = [
+        TrialSpec(
+            key=f"resilience-{name}-n{n_ranks}-s{seed}",
+            fn="repro.experiments.resilience:_resilience_trial",
+            params=dict(
+                scenario=name,
+                n_ranks=n_ranks,
+                tpn=tpn,
+                calls=calls,
+                seed=seed,
+                time_compression=time_compression,
+            ),
+        )
+        for name in _SCENARIOS
+    ]
+    records = {
+        spec.params["scenario"]: outcome.require()
+        for spec, outcome in zip(specs, runner.run(specs))
+    }
     return ResilienceResult(
-        healthy_us=healthy,
-        degraded_us=degraded,
-        uncoordinated_us=uncoordinated,
-        drop_us=drop,
-        death_us=death,
-        drop_prob=drop_faults.msg_drop_prob,
-        drop_retransmits=transport.retransmits,
-        drop_forced=transport.forced,
-        drop_duplicates_dropped=transport.duplicates_dropped,
-        drop_net_drops=drop_system.injector.net_plane.drops,
-        death_restarts=death_restarts,
-        degradation_events=degradation_events,
+        healthy_us=records["healthy"]["mean_us"],
+        degraded_us=records["degraded"]["mean_us"],
+        uncoordinated_us=records["uncoordinated"]["mean_us"],
+        drop_us=records["drop"]["mean_us"],
+        death_us=records["death"]["mean_us"],
+        drop_prob=DROP_PROB,
+        drop_retransmits=records["drop"]["retransmits"],
+        drop_forced=records["drop"]["forced"],
+        drop_duplicates_dropped=records["drop"]["duplicates_dropped"],
+        drop_net_drops=records["drop"]["net_drops"],
+        death_restarts=records["death"]["restarts"],
+        degradation_events=records["degraded"]["degradation_events"],
         n_ranks=n_ranks,
         time_compression=time_compression,
     )

@@ -1,0 +1,214 @@
+"""Declarative trial execution: :class:`TrialSpec` + :class:`TrialRunner`.
+
+Every campaign in this repository — the figure sweeps, the ablation, the
+speedup comparison, the resilience scenarios, the validation anchors —
+reduces to the same shape: a list of *independent, deterministic* trials
+whose results are averaged or tabulated afterwards.  This module owns
+that shape once:
+
+* :class:`TrialSpec` is the pure-data description of one trial — a
+  journal key, a ``"module:function"`` reference to a top-level trial
+  function, and a picklable ``params`` dict.  Specs carry no behaviour,
+  so they cross process boundaries and land in journals unchanged.
+* :class:`TrialRunner` owns execution policy: serial in-process, or
+  fanned out over a ``ProcessPoolExecutor`` (``jobs`` workers), with the
+  per-trial wall-clock watchdog and crash-safe journaling from
+  :mod:`repro.checkpoint.harness` applied uniformly either way.
+
+**The determinism-under-parallelism contract.**  Each trial is a pure
+function of its params (all randomness comes from seeds inside them), so
+execution order cannot change any trial's result.  The runner returns
+outcomes in *spec order* regardless of completion order, journal entries
+are keyed (one atomically-written file per trial, workers writing to
+per-process shards merged on read), and failure records are formatted
+identically on both paths.  Hence ``--jobs N`` and a serial run produce
+bit-identical results and byte-identical journals — the property
+``tests/test_runner.py`` pins.
+
+Worker processes prefer the ``fork`` start method where the platform
+offers it (cheap, and test-time monkeypatching propagates); elsewhere the
+default context is used, which is why trial functions must be importable
+top-level names and params must pickle.
+"""
+
+from __future__ import annotations
+
+import importlib
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional, Sequence
+
+from repro.checkpoint.harness import SweepJournal, TrialFailure, trial_watchdog
+
+__all__ = ["TrialSpec", "TrialOutcome", "TrialRunner", "resolve_trial_fn"]
+
+
+@dataclass(frozen=True)
+class TrialSpec:
+    """Pure-data description of one trial.
+
+    ``key`` must be unique within a campaign — it names the journal entry
+    and the outcome.  ``fn`` is a ``"package.module:function"`` reference
+    resolved in the executing process (never a live callable, so a spec
+    survives pickling and journaling).  ``params`` is passed to the trial
+    function as its only argument; the function returns a JSON-able dict.
+    """
+
+    key: str
+    fn: str
+    params: dict = field(default_factory=dict)
+
+
+def resolve_trial_fn(path: str) -> Callable[[dict], dict]:
+    """Resolve a ``"package.module:function"`` trial-function reference."""
+    mod_name, sep, fn_name = path.partition(":")
+    if not sep or not mod_name or not fn_name:
+        raise ValueError(f"trial fn must look like 'pkg.mod:fn', got {path!r}")
+    return getattr(importlib.import_module(mod_name), fn_name)
+
+
+@dataclass
+class TrialOutcome:
+    """Result of one trial: its record, or a failure reason."""
+
+    key: str
+    record: Optional[dict]
+    error: Optional[str] = None
+    #: Served from the journal instead of recomputed (resume telemetry).
+    cached: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return self.record is not None
+
+    def require(self) -> dict:
+        """The record, or :class:`TrialFailure` for experiments that have
+        no hole semantics (ablation, speedup, validation)."""
+        if self.record is None:
+            raise TrialFailure(f"trial {self.key!r} failed: {self.error}")
+        return self.record
+
+
+def _execute_trial(
+    spec: TrialSpec, timeout_s: Optional[float], journal_root: Optional[Any]
+):
+    """Run one trial in a worker process; journal into a per-worker shard.
+
+    Must stay a top-level function (pickled by reference into the pool).
+    Returns ``(key, record_or_None, error_or_None)``; exceptions are
+    converted to failure outcomes so one bad trial never kills the pool.
+    """
+    journal = (
+        SweepJournal(journal_root, shard=f"w{os.getpid()}")
+        if journal_root is not None
+        else None
+    )
+    try:
+        with trial_watchdog(timeout_s):
+            record = resolve_trial_fn(spec.fn)(spec.params)
+    except Exception as exc:
+        reason = f"{type(exc).__name__}: {exc}"
+        if journal is not None:
+            journal.record_failure(spec.key, reason)
+        return spec.key, None, reason
+    if journal is not None:
+        journal.record(spec.key, record)
+    return spec.key, record, None
+
+
+class TrialRunner:
+    """Executes :class:`TrialSpec` lists under one policy.
+
+    ``jobs=1`` (the default) runs trials in-process, in order.  ``jobs>1``
+    fans pending trials out over a process pool.  Either way:
+
+    * trials already journaled (``status: "ok"``) are served from the
+      journal without executing — crash/resume semantics;
+    * each executed trial runs under :func:`trial_watchdog` when
+      ``trial_timeout_s`` is set (``SIGALRM`` works in pool workers too:
+      the trial runs on the worker process's main thread);
+    * a trial that raises becomes a failed :class:`TrialOutcome` (and a
+      ``status: "failed"`` journal entry) instead of aborting the campaign;
+    * :meth:`run` returns outcomes in spec order, so assembly code is
+      oblivious to completion order — the deterministic merge.
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        journal: Optional[SweepJournal] = None,
+        trial_timeout_s: Optional[float] = None,
+    ) -> None:
+        self.jobs = max(1, int(jobs))
+        self.journal = journal
+        self.trial_timeout_s = trial_timeout_s
+
+    def run(self, specs: Sequence[TrialSpec]) -> list[TrialOutcome]:
+        """Execute *specs*; return their outcomes in the given order."""
+        specs = list(specs)
+        seen: set[str] = set()
+        for spec in specs:
+            if spec.key in seen:
+                raise ValueError(f"duplicate trial key {spec.key!r}")
+            seen.add(spec.key)
+
+        outcomes: dict[str, TrialOutcome] = {}
+        pending: list[TrialSpec] = []
+        for spec in specs:
+            done = self.journal.lookup(spec.key) if self.journal is not None else None
+            if done is not None:
+                outcomes[spec.key] = TrialOutcome(spec.key, done, cached=True)
+            else:
+                pending.append(spec)
+
+        # A single pending trial gains nothing from a pool; run it inline
+        # (same code path, same journal bytes).
+        if self.jobs == 1 or len(pending) <= 1:
+            for spec in pending:
+                outcomes[spec.key] = self._run_one(spec)
+        else:
+            self._run_pool(pending, outcomes)
+        return [outcomes[spec.key] for spec in specs]
+
+    # ------------------------------------------------------------------
+    def _run_one(self, spec: TrialSpec) -> TrialOutcome:
+        try:
+            with trial_watchdog(self.trial_timeout_s):
+                record = resolve_trial_fn(spec.fn)(spec.params)
+        except Exception as exc:  # KeyboardInterrupt still aborts.
+            reason = f"{type(exc).__name__}: {exc}"
+            if self.journal is not None:
+                self.journal.record_failure(spec.key, reason)
+            return TrialOutcome(spec.key, None, error=reason)
+        if self.journal is not None:
+            self.journal.record(spec.key, record)
+        return TrialOutcome(spec.key, record)
+
+    def _run_pool(
+        self, pending: list[TrialSpec], outcomes: dict[str, TrialOutcome]
+    ) -> None:
+        journal_root = self.journal.root if self.journal is not None else None
+        ctx = None
+        if "fork" in multiprocessing.get_all_start_methods():
+            ctx = multiprocessing.get_context("fork")
+        with ProcessPoolExecutor(
+            max_workers=min(self.jobs, len(pending)), mp_context=ctx
+        ) as pool:
+            futures = [
+                (spec, pool.submit(_execute_trial, spec, self.trial_timeout_s, journal_root))
+                for spec in pending
+            ]
+            for spec, future in futures:
+                try:
+                    key, record, error = future.result()
+                except Exception as exc:
+                    # The worker process itself died (BrokenProcessPool);
+                    # the trial never journaled, so record it here.
+                    key, record, error = spec.key, None, f"{type(exc).__name__}: {exc}"
+                    if self.journal is not None:
+                        self.journal.record_failure(key, error)
+                outcomes[key] = TrialOutcome(key, record, error=error)
+        if self.journal is not None:
+            self.journal.merge_shards()

@@ -13,13 +13,13 @@ slope-ratio usage).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 import numpy as np
 
-from repro.analytic.model import AllreduceSeriesModel
-from repro.experiments.common import PROTO16, VANILLA15, make_config
+from repro.experiments.common import PROTO16, VANILLA15
 from repro.experiments.reporting import text_table
-from repro.units import ms
+from repro.experiments.runner import TrialRunner, TrialSpec
 
 __all__ = ["SpeedupResult", "run_speedup154", "format_speedup"]
 
@@ -52,6 +52,9 @@ def run_speedup154(
     n_seeds: int = 3,
     compute_between_us: float = 200.0,
     seed: int = 11,
+    journal=None,
+    trial_timeout_s: Optional[float] = None,
+    jobs: int = 1,
 ) -> SpeedupResult:
     """Compare Allreduce series on the same 100 nodes, both ways populated.
 
@@ -61,16 +64,37 @@ def run_speedup154(
     kernel" — i.e. the prototype's collectives at 1600 tasks beat the
     workaround's at 1500 tasks by the quoted ratio, despite the prototype
     carrying one extra (noisier) task per node.
+
+    The 2 × *n_seeds* trials run through
+    :class:`~repro.experiments.runner.TrialRunner` (``jobs`` workers,
+    journal resume, per-trial watchdog) like every other campaign.
     """
+    runner = TrialRunner(jobs=jobs, journal=journal, trial_timeout_s=trial_timeout_s)
+    scenarios = (PROTO16, VANILLA15)
+    specs = [
+        TrialSpec(
+            key=f"speedup154-{scenario.name}-s{k}",
+            fn="repro.experiments.common:_allreduce_trial",
+            params=dict(
+                scenario=scenario,
+                n_ranks=n_nodes * scenario.tasks_per_node,
+                seed=seed + k,
+                model_seed=seed + 13 * k + n_nodes * scenario.tasks_per_node,
+                n_calls=n_calls,
+                compute_between_us=compute_between_us,
+            ),
+        )
+        for scenario in scenarios
+        for k in range(n_seeds)
+    ]
+    by_key = {o.key: o for o in runner.run(specs)}
     results = {}
-    for scenario in (PROTO16, VANILLA15):
+    for scenario in scenarios:
         n = n_nodes * scenario.tasks_per_node
-        means = []
-        for k in range(n_seeds):
-            cfg = make_config(scenario, n, seed=seed + k)
-            model = AllreduceSeriesModel(cfg, n, scenario.tasks_per_node, seed=seed + 13 * k + n)
-            series = model.run_series(n_calls, compute_between_us=compute_between_us)
-            means.append(series.mean_us)
+        means = [
+            by_key[f"speedup154-{scenario.name}-s{k}"].require()["mean_us"]
+            for k in range(n_seeds)
+        ]
         allreduce = float(np.mean(means))
         # A full bulk-synchronous cycle at the paper's typical granularity
         # (compute + one synchronising collective).

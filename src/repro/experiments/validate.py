@@ -9,7 +9,7 @@ scheduler, or the network parameters.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable
+from typing import Callable, Optional
 
 import numpy as np
 
@@ -19,6 +19,7 @@ from repro.config import KernelConfig, MpiConfig, NoiseConfig
 from repro.daemons.catalog import standard_noise
 from repro.experiments.common import PROTO16, VANILLA16, allreduce_sweep, make_config
 from repro.experiments.reporting import text_table
+from repro.experiments.runner import TrialRunner, TrialSpec
 
 __all__ = ["ValidationCheck", "run_validation", "format_validation"]
 
@@ -30,7 +31,7 @@ class ValidationCheck:
     detail: str
 
 
-def _check_noise_budget() -> ValidationCheck:
+def _check_noise_budget(_runner: Optional[TrialRunner] = None) -> ValidationCheck:
     """Anchor 1: total system overhead 0.2%-1.1% of each CPU."""
     frac = standard_noise(include_cron=False).total_cpu_fraction(16)
     tick = KernelConfig().tick_cost_us / KernelConfig().tick_period_us
@@ -42,7 +43,7 @@ def _check_noise_budget() -> ValidationCheck:
     )
 
 
-def _check_base_latency() -> ValidationCheck:
+def _check_base_latency(_runner: Optional[TrialRunner] = None) -> ValidationCheck:
     """Anchor 2: zero-noise Allreduce near the paper's ~350 us model."""
     cfg = make_config(VANILLA16, 944, seed=0).replace(
         noise=NoiseConfig(), mpi=MpiConfig.with_long_polling()
@@ -55,10 +56,15 @@ def _check_base_latency() -> ValidationCheck:
     )
 
 
-def _check_vanilla_slope() -> ValidationCheck:
+def _check_vanilla_slope(runner: Optional[TrialRunner] = None) -> ValidationCheck:
     """Anchor 3: vanilla Figure-3 slope near the paper's 0.70 us/CPU."""
+    runner = runner or TrialRunner()
     sweep = allreduce_sweep(
-        VANILLA16, proc_counts=(128, 512, 944, 1360, 1728), n_calls=200, n_seeds=2
+        VANILLA16,
+        proc_counts=(128, 512, 944, 1360, 1728),
+        n_calls=200,
+        n_seeds=2,
+        runner=runner,
     )
     lin, _log, winner = compare_fits(sweep.proc_counts, sweep.mean_us)
     ok = winner == "linear" and 0.4 <= lin.slope <= 1.1
@@ -69,19 +75,37 @@ def _check_vanilla_slope() -> ValidationCheck:
     )
 
 
-def _check_prototype_factor() -> ValidationCheck:
+def _check_prototype_factor(runner: Optional[TrialRunner] = None) -> ValidationCheck:
     """Anchor 4: prototype beats vanilla by roughly the paper's factor."""
-    means = {}
-    for scenario in (VANILLA16, PROTO16):
-        vals = []
-        for k in range(2):
-            cfg = make_config(scenario, 944, seed=50 + k)
-            vals.append(
-                AllreduceSeriesModel(cfg, 944, 16, seed=60 + k)
-                .run_series(200, 200.0)
-                .mean_us
+    runner = runner or TrialRunner()
+    specs = [
+        TrialSpec(
+            key=f"validate-factor-{scenario.name}-s{k}",
+            fn="repro.experiments.common:_allreduce_trial",
+            params=dict(
+                scenario=scenario,
+                n_ranks=944,
+                seed=50 + k,
+                model_seed=60 + k,
+                n_calls=200,
+                compute_between_us=200.0,
+            ),
+        )
+        for scenario in (VANILLA16, PROTO16)
+        for k in range(2)
+    ]
+    by_key = {o.key: o for o in runner.run(specs)}
+    means = {
+        scenario.name: float(
+            np.mean(
+                [
+                    by_key[f"validate-factor-{scenario.name}-s{k}"].require()["mean_us"]
+                    for k in range(2)
+                ]
             )
-        means[scenario.name] = float(np.mean(vals))
+        )
+        for scenario in (VANILLA16, PROTO16)
+    }
     ratio = means["vanilla16"] / means["proto16"]
     return ValidationCheck(
         "prototype factor at 944 CPUs",
@@ -90,7 +114,7 @@ def _check_prototype_factor() -> ValidationCheck:
     )
 
 
-def _check_des_model_agreement() -> ValidationCheck:
+def _check_des_model_agreement(_runner: Optional[TrialRunner] = None) -> ValidationCheck:
     """Anchor 5: DES and vectorised model agree on a quiet base case."""
     from repro.apps.aggregate_trace import AggregateTraceConfig, run_aggregate_trace
     from repro.config import ClusterConfig, MachineConfig
@@ -114,7 +138,7 @@ def _check_des_model_agreement() -> ValidationCheck:
     )
 
 
-CHECKS: tuple[Callable[[], ValidationCheck], ...] = (
+CHECKS: tuple[Callable[[Optional[TrialRunner]], ValidationCheck], ...] = (
     _check_noise_budget,
     _check_base_latency,
     _check_vanilla_slope,
@@ -123,9 +147,11 @@ CHECKS: tuple[Callable[[], ValidationCheck], ...] = (
 )
 
 
-def run_validation() -> list[ValidationCheck]:
-    """Run every calibration anchor check."""
-    return [check() for check in CHECKS]
+def run_validation(jobs: int = 1) -> list[ValidationCheck]:
+    """Run every calibration anchor check; heavy anchors fan their trials
+    out over *jobs* worker processes."""
+    runner = TrialRunner(jobs=jobs)
+    return [check(runner) for check in CHECKS]
 
 
 def format_validation(checks: list[ValidationCheck]) -> str:

@@ -161,6 +161,26 @@ class Simulator:
                 return ev
         return None
 
+    def _pop_due(self, bound: float) -> Optional[Event]:
+        """Pop the next live event with ``time <= bound`` in one heap walk.
+
+        Dead (cancelled) entries met on the way are discarded.  A live head
+        beyond *bound* is left in place, so "looking" costs no re-sift —
+        this is the fused replacement for the ``peek_time()`` + ``step()``
+        pair that used to pay two O(log n) traversals per event in
+        :meth:`run_until`.
+        """
+        heap = self._heap
+        while heap:
+            head = heap[0]
+            if not head.active:
+                heapq.heappop(heap)
+                continue
+            if head.time > bound:
+                return None
+            return heapq.heappop(heap)
+        return None
+
     def peek_time(self) -> Optional[float]:
         """Time of the next live event, or None if the queue is drained."""
         heap = self._heap
@@ -168,11 +188,7 @@ class Simulator:
             heapq.heappop(heap)
         return heap[0].time if heap else None
 
-    def step(self) -> bool:
-        """Process a single event.  Returns False when the queue is empty."""
-        ev = self._pop_next()
-        if ev is None:
-            return False
+    def _fire(self, ev: Event) -> None:
         self.now = ev.time
         fn, args = ev.fn, ev.args
         # Mark fired before invoking so re-entrant cancels are no-ops.
@@ -182,6 +198,13 @@ class Simulator:
         fn(*args)
         if self.on_event is not None:
             self.on_event()
+
+    def step(self) -> bool:
+        """Process a single event.  Returns False when the queue is empty."""
+        ev = self._pop_next()
+        if ev is None:
+            return False
+        self._fire(ev)
         return True
 
     def run_until(self, time: float, max_events: Optional[int] = None) -> int:
@@ -195,12 +218,15 @@ class Simulator:
             raise SimulationError(f"run_until({time!r}) is in the past (now={self.now!r})")
         processed = 0
         while True:
-            nxt = self.peek_time()
-            if nxt is None or nxt > time:
-                break
             if max_events is not None and processed >= max_events:
-                raise SimulationError(f"exceeded max_events={max_events} before t={time}")
-            self.step()
+                nxt = self.peek_time()
+                if nxt is not None and nxt <= time:
+                    raise SimulationError(f"exceeded max_events={max_events} before t={time}")
+                break
+            ev = self._pop_due(time)
+            if ev is None:
+                break
+            self._fire(ev)
             processed += 1
         self.now = time
         return processed
@@ -211,8 +237,10 @@ class Simulator:
         while True:
             if max_events is not None and processed >= max_events and self.peek_time() is not None:
                 raise SimulationError(f"exceeded max_events={max_events}")
-            if not self.step():
+            ev = self._pop_next()
+            if ev is None:
                 break
+            self._fire(ev)
             processed += 1
         return processed
 

@@ -211,6 +211,132 @@ class TestStep:
         assert hits == [1]
 
 
+def _reference_run_until(sim, time, max_events=None):
+    """The pre-fusion ``run_until`` loop: peek_time() then step(), two heap
+    walks per event.  Kept here as the semantic reference for the fused
+    ``_pop_due`` implementation."""
+    if time < sim.now:
+        raise SimulationError(f"run_until({time!r}) is in the past")
+    processed = 0
+    while True:
+        nxt = sim.peek_time()
+        if nxt is None or nxt > time:
+            break
+        if max_events is not None and processed >= max_events:
+            raise SimulationError(f"exceeded max_events={max_events}")
+        sim.step()
+        processed += 1
+    sim.now = time
+    return processed
+
+
+def _drive(sim, run_until, bounds, *, cancel_every=None, reschedule=True):
+    """One deterministic workload: self-rescheduling chains with periodic
+    cancellations, run in segments.  Returns the firing log."""
+    fired = []
+    handles = {}
+
+    def tick(name, t, k):
+        fired.append((name, t, k))
+        if reschedule and k < 6:
+            handles[name] = sim.schedule(
+                1.5 + 0.25 * k, tick, name, t + 1.5 + 0.25 * k, k + 1,
+                priority=k % 5,
+            )
+
+    for i, name in enumerate("abcde"):
+        handles[name] = sim.schedule(float(i) * 0.7, tick, name, float(i) * 0.7, 0)
+    for j, bound in enumerate(bounds):
+        if cancel_every and j % cancel_every == 1:
+            victim = "abcde"[j % 5]
+            if handles.get(victim) is not None and handles[victim].active:
+                handles[victim].cancel()
+        fired.append(("segment", bound, run_until(sim, bound)))
+    return fired
+
+
+class TestFusedPopMatchesReference:
+    """Regression guard for the fused single-heap-walk ``run_until``:
+    identical event order, ``now`` and ``events_processed`` to the old
+    peek_time()+step() loop, on workloads with cancellation and
+    re-scheduling."""
+
+    BOUNDS = [1.0, 2.0, 4.5, 4.5, 9.0, 30.0]
+
+    def _compare(self, **drive_kw):
+        fused_sim, ref_sim = Simulator(), Simulator()
+        fused = _drive(fused_sim, lambda s, t: s.run_until(t), self.BOUNDS, **drive_kw)
+        ref = _drive(ref_sim, _reference_run_until, self.BOUNDS, **drive_kw)
+        assert fused == ref  # firing order AND per-segment processed counts
+        assert fused_sim.now == ref_sim.now
+        assert fused_sim.events_processed == ref_sim.events_processed
+        assert fused_sim.pending == ref_sim.pending
+
+    def test_identical_on_rescheduling_workload(self):
+        self._compare()
+
+    def test_identical_with_cancellations(self):
+        self._compare(cancel_every=2)
+
+    def test_identical_without_rescheduling(self):
+        self._compare(reschedule=False, cancel_every=3)
+
+    def test_pop_due_skips_dead_entries_without_firing(self):
+        sim = Simulator()
+        live = []
+        e1 = sim.schedule(1.0, live.append, 1)
+        sim.schedule(2.0, live.append, 2)
+        e1.cancel()
+        assert sim.run_until(1.5) == 0  # only the dead head was due
+        assert sim.run_until(2.5) == 1
+        assert live == [2]
+
+    def test_pop_due_leaves_future_head_in_place(self):
+        sim = Simulator()
+        sim.schedule(10.0, lambda: None)
+        assert sim.run_until(5.0) == 0
+        assert sim.pending == 1
+        assert sim.peek_time() == 10.0
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+                st.integers(min_value=0, max_value=4),
+                st.booleans(),  # cancel this event before running?
+            ),
+            min_size=1,
+            max_size=40,
+        ),
+        st.lists(
+            st.floats(min_value=0.0, max_value=120.0, allow_nan=False),
+            min_size=1,
+            max_size=6,
+        ),
+    )
+    def test_property_fused_equals_reference(self, specs, raw_bounds):
+        bounds = sorted(raw_bounds)
+        logs = []
+        sims = []
+        for run_until in (lambda s, t: s.run_until(t), _reference_run_until):
+            sim = Simulator()
+            fired = []
+            handles = [
+                sim.schedule_at(t, lambda i=i: fired.append(i), priority=p)
+                for i, (t, p, _c) in enumerate(specs)
+            ]
+            for h, (_t, _p, c) in zip(handles, specs):
+                if c:
+                    h.cancel()
+            for b in bounds:
+                fired.append(("seg", run_until(sim, b)))
+            logs.append(fired)
+            sims.append(sim)
+        assert logs[0] == logs[1]
+        assert sims[0].now == sims[1].now
+        assert sims[0].events_processed == sims[1].events_processed
+
+
 class TestPropertyOrdering:
     @given(
         st.lists(
