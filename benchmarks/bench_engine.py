@@ -1,0 +1,322 @@
+"""Engine performance harness: events/sec plus subsystem attribution.
+
+This is the perf-regression counterpart of the DES hot-path work: it pins
+the engine's event rate (the first-class scalability metric of the DES
+literature this repo leans on) in ``BENCH_engine.json`` so future PRs can
+see at a glance whether they moved it, and in which subsystem the cycles
+went.
+
+Four scenarios, each chosen to exercise one hot layer:
+
+* ``event_churn`` — a pure schedule→fire chain: the heap and dispatch
+  loop with no model on top (peak attainable event rate).
+* ``cancel_churn`` — a preemption-shaped workload where most scheduled
+  events are cancelled before firing: lazy deletion + compaction.
+* ``cluster_des`` — the full stack (kernel dispatcher, ticks, MPI, net,
+  daemons) at 64 ranks: the realistic blended rate.
+* ``fig4_attribution`` — the Figure-4 trace-attribution sweep: the
+  interval index's O(log I + k) window queries.
+
+With ``--profile``, the cluster scenario additionally runs under cProfile
+and the JSON gains a per-subsystem attribution of engine time (fractions
+of total tottime by ``repro.<subsystem>``) — the "where did the cycles
+go" view that motivated this harness.
+
+Each invocation appends one labelled entry to the ``history`` list of the
+output file (creating it if missing), so before/after comparisons live in
+the artifact itself::
+
+    PYTHONPATH=src python benchmarks/bench_engine.py --label "tuple heap"
+    PYTHONPATH=.bl/src python benchmarks/bench_engine.py --label "seed"
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import json
+import os
+import platform
+import pstats
+import subprocess
+import sys
+import time
+
+
+def _build_cluster():
+    from repro.config import ClusterConfig, MachineConfig, MpiConfig
+    from repro.daemons.catalog import scale_noise, standard_noise
+    from repro.system import System
+
+    cfg = ClusterConfig(
+        machine=MachineConfig(n_nodes=4, cpus_per_node=16),
+        mpi=MpiConfig(progress_threads_enabled=False),
+        noise=scale_noise(standard_noise(include_cron=False), 30.0),
+        seed=1,
+    )
+    return System(cfg)
+
+
+def bench_event_churn(n_events: int = 200_000) -> dict:
+    """Peak heap throughput: one event always pending, fire→schedule chain."""
+    from repro.sim.core import Simulator
+
+    sim = Simulator()
+    count = [0]
+
+    def tick():
+        count[0] += 1
+        if count[0] < n_events:
+            sim.schedule(1.0, tick)
+
+    sim.schedule(0.0, tick)
+    t0 = time.perf_counter()
+    sim.run()
+    wall = time.perf_counter() - t0
+    assert count[0] == n_events
+    return {"events": n_events, "wall_s": round(wall, 4),
+            "events_per_s": round(n_events / wall)}
+
+
+def bench_cancel_churn(n_rounds: int = 100_000) -> dict:
+    """Preemption-shaped load: every fired event cancels a decoy.
+
+    Each round schedules a decoy far in the future and cancels the
+    previous round's decoy, so the heap continuously accretes dead
+    entries the way the dispatcher's cancel-and-reschedule of compute
+    completions does.  Exercises lazy deletion and compaction; also
+    reports the peak raw heap length as a boundedness signal.
+    """
+    from repro.sim.core import Simulator
+
+    sim = Simulator()
+    state = {"round": 0, "decoy": None, "peak_heap": 0}
+
+    def nop():  # pragma: no cover - decoys never fire
+        raise AssertionError("decoy fired")
+
+    def tick():
+        state["round"] += 1
+        if state["decoy"] is not None:
+            state["decoy"].cancel()
+        if len(sim._heap) > state["peak_heap"]:
+            state["peak_heap"] = len(sim._heap)
+        if state["round"] < n_rounds:
+            state["decoy"] = sim.schedule(1e12, nop)
+            sim.schedule(1.0, tick)
+
+    sim.schedule(0.0, tick)
+    t0 = time.perf_counter()
+    sim.run()
+    wall = time.perf_counter() - t0
+    return {
+        "rounds": n_rounds,
+        "wall_s": round(wall, 4),
+        "events_per_s": round(n_rounds / wall),
+        "peak_heap_entries": state["peak_heap"],
+        "final_pending": sim.pending,
+    }
+
+
+def bench_cluster_des(profile: bool = False) -> tuple[dict, dict | None]:
+    """Blended full-stack rate; optionally with subsystem attribution.
+
+    The events/sec figure always comes from an unprofiled run; with
+    *profile* a second, separate run gathers the cProfile attribution so
+    tracing overhead never contaminates the recorded rate.
+    """
+    from repro.apps.aggregate_trace import AggregateTraceConfig, run_aggregate_trace
+
+    def run_once(prof: cProfile.Profile | None):
+        system = _build_cluster()
+        t0 = time.perf_counter()
+        if prof is not None:
+            prof.enable()
+        run_aggregate_trace(
+            system, 64, 16,
+            AggregateTraceConfig(calls_per_loop=150, compute_between_us=200.0),
+        )
+        if prof is not None:
+            prof.disable()
+        return time.perf_counter() - t0, system.sim.events_processed
+
+    wall, events = run_once(None)
+    result = {
+        "ranks": 64,
+        "events": events,
+        "wall_s": round(wall, 4),
+        "events_per_s": round(events / wall),
+    }
+    attribution = None
+    if profile:
+        prof = cProfile.Profile()
+        run_once(prof)
+        attribution = _subsystem_attribution(prof)
+    return result, attribution
+
+
+def _subsystem_attribution(prof: cProfile.Profile) -> dict:
+    """Fold cProfile tottime into fractions by repro.<subsystem>."""
+    stats = pstats.Stats(prof)
+    by_subsystem: dict[str, float] = {}
+    total = 0.0
+    for (filename, _lineno, _fn), (_cc, _nc, tottime, _ct, _callers) in stats.stats.items():
+        total += tottime
+        marker = os.sep + "repro" + os.sep
+        if marker in filename:
+            sub = filename.split(marker, 1)[1].split(os.sep)[0].removesuffix(".py")
+        elif filename.startswith("<") or "python" in filename.lower():
+            sub = "(interpreter)"
+        else:
+            sub = "(other)"
+        by_subsystem[sub] = by_subsystem.get(sub, 0.0) + tottime
+    if total <= 0:
+        return {}
+    out = {k: round(v / total, 4) for k, v in
+           sorted(by_subsystem.items(), key=lambda kv: -kv[1])}
+    out["_total_tottime_s"] = round(total, 3)
+    return out
+
+
+def bench_fig4_attribution() -> dict:
+    """The Figure-4 analysis shape: many windows against one dense trace.
+
+    Synthetic but dimensioned like the real run (one node, ~30k recorded
+    intervals, 448 windows), isolating the interval-index query cost from
+    DES noise.  Deterministic: no RNG, so the checksum pins equivalence
+    across engine versions as well as speed.
+    """
+    from repro.trace.analysis import attribute_window
+    from repro.trace.recorder import RunInterval, TraceRecorder
+
+    trace = TraceRecorder(enabled=True)
+    names = ["app.rank0", "syncd", "mmfsd", "hatsd", "cron_health"]
+    cats = ["app", "daemon", "daemon", "daemon", "daemon"]
+    t = 0.0
+    for i in range(30_000):
+        j = i % 5
+        dur = 40.0 + (i % 17)
+        trace.intervals.append(
+            RunInterval(0, i % 16, j, names[j], cats[j], t, t + dur)
+        )
+        t += dur * 0.25  # overlapping occupancy across 16 CPUs
+    span = t
+    windows = [
+        (k * span / 448.0, (k + 1) * span / 448.0 + 500.0) for k in range(448)
+    ]
+    t0 = time.perf_counter()
+    checksum = 0.0
+    for w0, w1 in windows:
+        att = attribute_window(trace, 0, w0, w1)
+        checksum += att.interference_us
+    wall = time.perf_counter() - t0
+    return {
+        "intervals": len(trace.intervals),
+        "windows": len(windows),
+        "wall_s": round(wall, 4),
+        "windows_per_s": round(len(windows) / wall),
+        "interference_checksum_us": round(checksum, 6),
+    }
+
+
+def bench_fig4_end_to_end() -> dict:
+    """Full run_fig4 at the paper's default 944 ranks: the acceptance metric."""
+    import hashlib
+
+    from repro.experiments.fig4 import run_fig4
+
+    t0 = time.perf_counter()
+    res = run_fig4()
+    wall = time.perf_counter() - t0
+    return {
+        "n_ranks": res.n_ranks,
+        "wall_s": round(wall, 3),
+        "result_digest": hashlib.sha256(
+            res.sorted_durations_us.tobytes()
+        ).hexdigest(),
+        "slowest_culprit": res.slowest_culprit,
+    }
+
+
+def _git_commit() -> str:
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, cwd=os.path.dirname(__file__) or ".",
+        ).stdout.strip() or "unknown"
+    except OSError:  # pragma: no cover - git missing
+        return "unknown"
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default="BENCH_engine.json")
+    parser.add_argument("--label", default=None,
+                        help="history entry label (default: the git commit)")
+    parser.add_argument("--profile", action="store_true",
+                        help="run the cluster scenario under cProfile and "
+                             "record per-subsystem attribution")
+    parser.add_argument("--fig4", action="store_true",
+                        help="also time the full 944-rank run_fig4 "
+                             "(the PR acceptance metric; ~seconds)")
+    parser.add_argument("--fresh", action="store_true",
+                        help="start a new history instead of appending")
+    args = parser.parse_args(argv)
+
+    commit = _git_commit()
+    entry = {
+        "label": args.label or commit,
+        "commit": commit,
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "scenarios": {},
+    }
+    print(f"[bench_engine] label={entry['label']} commit={commit}")
+
+    entry["scenarios"]["event_churn"] = r = bench_event_churn()
+    print(f"  event_churn      : {r['events_per_s'] / 1e6:.2f} M events/s")
+    entry["scenarios"]["cancel_churn"] = r = bench_cancel_churn()
+    print(f"  cancel_churn     : {r['events_per_s'] / 1e6:.2f} M rounds/s "
+          f"(peak heap {r['peak_heap_entries']})")
+    cluster, attribution = bench_cluster_des(profile=args.profile)
+    entry["scenarios"]["cluster_des"] = cluster
+    print(f"  cluster_des      : {cluster['events_per_s'] / 1e3:.0f} k events/s "
+          f"({cluster['events']} events)")
+    if attribution is not None:
+        entry["subsystem_attribution"] = attribution
+        top = [f"{k} {v:.0%}" for k, v in attribution.items()
+               if not k.startswith("_")][:5]
+        print(f"  profile          : {', '.join(top)}")
+    entry["scenarios"]["fig4_attribution"] = r = bench_fig4_attribution()
+    print(f"  fig4_attribution : {r['windows_per_s']} windows/s over "
+          f"{r['intervals']} intervals")
+    if args.fig4:
+        entry["scenarios"]["fig4_end_to_end"] = r = bench_fig4_end_to_end()
+        print(f"  fig4_end_to_end  : {r['wall_s']}s, digest "
+              f"{r['result_digest'][:16]}…")
+
+    report = {
+        "benchmark": "DES engine hot paths (events/sec + attribution)",
+        "environment": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "cpu_count": os.cpu_count(),
+        },
+        "history": [],
+    }
+    if not args.fresh and os.path.exists(args.out):
+        try:
+            with open(args.out) as fh:
+                prior = json.load(fh)
+            report["history"] = prior.get("history", [])
+        except (OSError, ValueError):
+            pass
+    report["history"].append(entry)
+    with open(args.out, "w") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+    print(f"[wrote {args.out}: {len(report['history'])} history entries]")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

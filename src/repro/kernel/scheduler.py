@@ -55,6 +55,12 @@ from repro.sim.core import EventPriority, Simulator
 
 __all__ = ["CpuState", "NodeScheduler"]
 
+#: Hoisted enum members: the dispatcher schedules kernel-priority events on
+#: every completion/wakeup, and repeated ``EventPriority.KERNEL`` attribute
+#: walks show up at profile scale.
+_PRIO_KERNEL = EventPriority.KERNEL
+_PRIO_INTERRUPT = EventPriority.INTERRUPT
+
 
 class CpuState:
     """Dispatcher-visible state of one CPU."""
@@ -309,17 +315,26 @@ class NodeScheduler:
     # Generator driving
     # ==================================================================
     def _advance(self, thread: Thread, value: Any) -> None:
-        """Drive the body generator until it issues a time-taking request."""
+        """Drive the body generator until it issues a time-taking request.
+
+        This is the hottest dispatcher function (once per syscall request),
+        so the generator's ``send`` is bound once and requests dispatch on
+        exact class identity — the request types are final dataclasses, so
+        ``type(req) is Compute`` is both correct and skips the isinstance
+        machinery for the Compute case that dominates real workloads.
+        """
         sim = self.sim
+        send = thread.gen.send
         while True:
             try:
-                req = thread.gen.send(value)
+                req = send(value)
             except StopIteration:
                 self._finish(thread)
                 return
             value = None
+            cls = req.__class__
 
-            if isinstance(req, Compute):
+            if cls is Compute:
                 if req.duration_us <= 0:
                     continue
                 thread.work_remaining = req.duration_us
@@ -329,8 +344,8 @@ class NodeScheduler:
                     self._make_ready(thread)
                 return
 
-            if isinstance(req, (Sleep, SleepUntil)):
-                if isinstance(req, Sleep):
+            if cls is Sleep or cls is SleepUntil:
+                if cls is Sleep:
                     wake_t = sim.now + req.duration_us
                 else:
                     wake_t = max(sim.now, req.time_us)
@@ -340,17 +355,17 @@ class NodeScheduler:
                     self._off_cpu_and_dispatch(thread, voluntary=True)
                 thread.state = ThreadState.SLEEPING
                 thread.wake_ev = sim.schedule_at(
-                    wake_t, self._timer_wake, thread, priority=EventPriority.KERNEL
+                    wake_t, self._timer_wake, thread, priority=_PRIO_KERNEL
                 )
                 return
 
-            if isinstance(req, Block):
+            if cls is Block:
                 if thread.state is ThreadState.RUNNING:
                     self._off_cpu_and_dispatch(thread, voluntary=True)
                 thread.state = ThreadState.BLOCKED
                 return
 
-            if isinstance(req, SpinWait):
+            if cls is SpinWait:
                 res = req.register(thread)
                 if res is not None:
                     value = res  # event already occurred; no spin needed
@@ -364,7 +379,7 @@ class NodeScheduler:
                     self._make_ready(thread)
                 return
 
-            if isinstance(req, SetPriority):
+            if cls is SetPriority:
                 self.set_priority(thread, req.priority, self_call=True)
                 if thread.state is not ThreadState.RUNNING:
                     # set_priority preempted us (reverse preemption at the
@@ -373,7 +388,7 @@ class NodeScheduler:
                     return
                 continue
 
-            if isinstance(req, YieldCpu):
+            if cls is YieldCpu:
                 if thread.state is ThreadState.RUNNING:
                     thread.resume_advance = True
                     self._off_cpu_and_dispatch(thread, voluntary=True)
@@ -544,7 +559,7 @@ class NodeScheduler:
             # continuation; stale resume events no-op on the cleared flag.
             thread.run_start = now
             thread.run_work = 0.0
-            self.sim.schedule(0.0, self._resume_on_cpu, thread, priority=EventPriority.KERNEL)
+            self.sim.schedule(0.0, self._resume_on_cpu, thread, priority=_PRIO_KERNEL)
         elif thread.spinning is not None:
             thread.run_start = now
             thread.run_work = 0.0
@@ -561,14 +576,15 @@ class NodeScheduler:
             self._advance(thread, value)
 
     def _schedule_completion(self, thread: Thread) -> None:
-        now = self.sim.now
+        sim = self.sim
+        now = sim.now
         work = thread.work_remaining + thread.cs_due
         thread.cs_due = 0.0
         thread.run_start = now
         thread.run_work = work
         t_done = self.ticks.inflate(thread.cpu, now, work)
-        thread.completion_ev = self.sim.schedule_at(
-            t_done, self._on_complete, thread, priority=EventPriority.KERNEL
+        thread.completion_ev = sim.schedule_at(
+            t_done, self._on_complete, thread, priority=_PRIO_KERNEL
         )
 
     def _on_complete(self, thread: Thread) -> None:
@@ -623,7 +639,7 @@ class NodeScheduler:
                 self.config.ipi_latency_us,
                 self._ipi_arrive,
                 cpu_idx,
-                priority=EventPriority.INTERRUPT,
+                priority=_PRIO_INTERRUPT,
             )
         else:
             self.ipis_suppressed += 1
@@ -639,7 +655,7 @@ class NodeScheduler:
             th.run_work += self.config.ipi_cost_us
             t_done = self.ticks.inflate(cpu_idx, th.run_start, th.run_work)
             th.completion_ev = self.sim.schedule_at(
-                max(t_done, self.sim.now), self._on_complete, th, priority=EventPriority.KERNEL
+                max(t_done, self.sim.now), self._on_complete, th, priority=_PRIO_KERNEL
             )
         self._check_cpu(cpu_idx)
 
@@ -660,7 +676,7 @@ class NodeScheduler:
             self.ticks.next_boundary(cpu_idx, self.sim.now),
             self._tick_check,
             cpu_idx,
-            priority=EventPriority.INTERRUPT,
+            priority=_PRIO_INTERRUPT,
         )
 
     def _tick_check(self, cpu_idx: int) -> None:
@@ -692,7 +708,7 @@ class NodeScheduler:
                     self.ticks.next_boundary(cpu_idx, self.sim.now),
                     self._tick_check,
                     cpu_idx,
-                    priority=EventPriority.INTERRUPT,
+                    priority=_PRIO_INTERRUPT,
                 )
 
     def _preempt(self, cpu_idx: int) -> None:

@@ -124,15 +124,31 @@ class TickSchedule:
         Fixed point of ``t = start + work + cost × boundaries_in(start, t]``:
         each tick crossed while running charges its handler cost to the
         running thread, possibly pushing completion across further ticks.
+
+        This is the dispatcher's per-completion hot path (one call per
+        scheduled completion), so the boundary count is inlined with the
+        *start*-side floor hoisted out of the fixed-point loop — each
+        iteration pays one division instead of a :meth:`boundaries_in`
+        call recomputing both ends.  Deliberately **not** optimised:
+        replacing the division with a precomputed reciprocal multiply is
+        ~1 ulp sloppier, and near eps-shifted boundaries that ulp can flip
+        the floor — violating the bit-identical-results contract the
+        engine work is held to.
         """
         if work <= 0:
             return start
-        if self.cost == 0.0:
-            return start + work
-        t = start + work
+        cost = self.cost
+        base = start + work
+        if cost == 0.0:
+            return base
+        period = self.period
+        ph = self._phases[cpu]
+        floor = math.floor
+        lo = floor((start - ph + _EPS) / period)
+        t = base
         while True:
-            k = self.boundaries_in(cpu, start, t, inclusive_end=True)
-            t2 = start + work + self.cost * k
+            k = floor((t - ph + _EPS) / period) - lo
+            t2 = base + cost * k
             if t2 <= t + _EPS:
                 return t2
             t = t2

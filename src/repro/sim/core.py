@@ -10,9 +10,20 @@ that matter for the layers above:
   hardware events before software wakeups.  ``seq`` is a monotone counter
   guaranteeing FIFO among full ties, which makes runs reproducible.
 
-* **Lazy cancellation.**  Cancelling an event marks its handle dead; the
-  heap entry is skipped on pop.  The kernel cancels and re-schedules compute
-  completions on every preemption, so cancellation is O(1).
+* **C-level comparisons.**  The heap stores plain ``(time, priority, seq,
+  Event)`` tuples.  ``seq`` is unique, so a comparison always resolves
+  within the first three scalar fields and never reaches the
+  :class:`Event` object — every sift runs entirely in the C tuple
+  comparator instead of calling ``Event.__lt__`` (which used to account
+  for millions of Python-level calls per run).  :class:`Event` remains
+  the public, cancellable handle.
+
+* **Lazy cancellation with compaction.**  Cancelling an event marks its
+  handle dead; the heap entry is skipped on pop.  The kernel cancels and
+  re-schedules compute completions on every preemption, so cancellation
+  is O(1).  When dead entries outnumber live ones (and the heap is big
+  enough to care) the heap is compacted in one O(n) ``heapify`` pass —
+  ordering is total, so compaction can never change firing order.
 
 * **No global state.**  A :class:`Simulator` is an ordinary object; tests
   freely create thousands of them.
@@ -26,6 +37,11 @@ from enum import IntEnum
 from typing import Any, Callable, Optional
 
 __all__ = ["Event", "EventPriority", "Simulator", "SimulationError"]
+
+
+#: Compaction threshold: only heaps at least this large are compacted
+#: (tiny heaps churn through cancels without ever carrying real weight).
+_COMPACT_MIN_ENTRIES = 64
 
 
 class SimulationError(RuntimeError):
@@ -51,10 +67,12 @@ class Event:
     """A scheduled callback; returned by :meth:`Simulator.schedule`.
 
     Treat instances as opaque handles: inspect :attr:`time` / :attr:`active`,
-    call :meth:`cancel`.
+    call :meth:`cancel`.  The handle never participates in heap ordering
+    (the heap compares ``(time, priority, seq)`` tuples), but ``__lt__``
+    is kept so handle lists sort in firing order.
     """
 
-    __slots__ = ("time", "priority", "seq", "fn", "args", "_cancelled")
+    __slots__ = ("time", "priority", "seq", "fn", "args", "_cancelled", "_sim")
 
     def __init__(
         self,
@@ -63,6 +81,7 @@ class Event:
         seq: int,
         fn: Callable[..., Any],
         args: tuple,
+        sim: Optional["Simulator"] = None,
     ) -> None:
         self.time = time
         self.priority = priority
@@ -70,6 +89,9 @@ class Event:
         self.fn = fn
         self.args = args
         self._cancelled = False
+        #: Owning simulator (None for handles built outside a Simulator);
+        #: lets cancel() maintain the owner's live-entry counter.
+        self._sim = sim
 
     @property
     def active(self) -> bool:
@@ -78,6 +100,16 @@ class Event:
 
     def cancel(self) -> None:
         """Prevent the callback from firing.  Idempotent; safe after firing."""
+        if not self._cancelled and self.fn is not None:
+            # Still live: tell the owning simulator one queued entry died
+            # (fired events have fn cleared before the callback runs, so
+            # they never reach this branch).
+            sim = self._sim
+            if sim is not None:
+                sim._live -= 1
+                dead = len(sim._heap) - sim._live
+                if dead >= _COMPACT_MIN_ENTRIES and dead > sim._live:
+                    sim._compact()
         self._cancelled = True
         # Break reference cycles early; a cancelled event may sit in the
         # heap for a long simulated time before being popped and skipped.
@@ -110,9 +142,14 @@ class Simulator:
 
     def __init__(self) -> None:
         self.now: float = 0.0
-        self._heap: list[Event] = []
+        #: Entries are ``(time, priority, seq, Event)``; ``seq`` is unique
+        #: so tuple comparison never falls through to the Event.
+        self._heap: list[tuple[float, int, int, Event]] = []
         self._seq = itertools.count()
         self._events_processed = 0
+        #: Live (non-cancelled) entries currently queued; maintained by
+        #: schedule/pop/cancel so :attr:`pending` is O(1).
+        self._live = 0
         self._running = False
         #: Optional sanitizer hook invoked (with no arguments) after every
         #: processed event.  Installed by
@@ -146,18 +183,35 @@ class Simulator:
         """Schedule *fn(*args)* at absolute time *time* (µs)."""
         if time < self.now:
             raise SimulationError(f"cannot schedule at {time!r}; now is {self.now!r}")
-        ev = Event(time, int(priority), next(self._seq), fn, args)
-        heapq.heappush(self._heap, ev)
+        priority = int(priority)
+        seq = next(self._seq)
+        ev = Event(time, priority, seq, fn, args, self)
+        heapq.heappush(self._heap, (time, priority, seq, ev))
+        self._live += 1
         return ev
 
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
+    def _compact(self) -> None:
+        """Drop dead heap entries in one pass (firing order is unchanged:
+        entry ordering is total, so a heapify of any subset agrees with
+        the pop order of the original heap restricted to that subset).
+
+        In-place (slice assignment) on purpose: the fused ``run_until``
+        loop holds a local alias to the heap list, and compaction can
+        trigger mid-callback via ``Event.cancel``.
+        """
+        heap = self._heap
+        heap[:] = [entry for entry in heap if not entry[3]._cancelled]
+        heapq.heapify(heap)
+
     def _pop_next(self) -> Optional[Event]:
         heap = self._heap
         while heap:
-            ev = heapq.heappop(heap)
-            if ev.active:
+            ev = heapq.heappop(heap)[3]
+            if not ev._cancelled:
+                self._live -= 1
                 return ev
         return None
 
@@ -172,21 +226,28 @@ class Simulator:
         """
         heap = self._heap
         while heap:
-            head = heap[0]
-            if not head.active:
+            entry = heap[0]
+            if entry[3]._cancelled:
                 heapq.heappop(heap)
                 continue
-            if head.time > bound:
+            if entry[0] > bound:
                 return None
-            return heapq.heappop(heap)
+            heapq.heappop(heap)
+            self._live -= 1
+            return entry[3]
         return None
 
     def peek_time(self) -> Optional[float]:
-        """Time of the next live event, or None if the queue is drained."""
+        """Time of the next live event, or None if the queue is drained.
+
+        Reads the *handle*'s time rather than the heap entry's copy: they
+        only differ if someone corrupted the handle, and reporting the
+        handle's view is what lets the invariant sanitizer notice.
+        """
         heap = self._heap
-        while heap and not heap[0].active:
+        while heap and heap[0][3]._cancelled:
             heapq.heappop(heap)
-        return heap[0].time if heap else None
+        return heap[0][3].time if heap else None
 
     def _fire(self, ev: Event) -> None:
         self.now = ev.time
@@ -217,16 +278,43 @@ class Simulator:
         if time < self.now:
             raise SimulationError(f"run_until({time!r}) is in the past (now={self.now!r})")
         processed = 0
+        # The pop/fire pair is inlined below: at profile scale the two
+        # method calls per event are a measurable slice of the engine's
+        # per-event budget.  step()/run() keep the readable methods; this
+        # loop must stay behaviourally identical to _pop_due + _fire.
+        heap = self._heap
+        heappop = heapq.heappop
         while True:
             if max_events is not None and processed >= max_events:
                 nxt = self.peek_time()
                 if nxt is not None and nxt <= time:
                     raise SimulationError(f"exceeded max_events={max_events} before t={time}")
                 break
-            ev = self._pop_due(time)
+            ev = None
+            while heap:
+                entry = heap[0]
+                candidate = entry[3]
+                if candidate._cancelled:
+                    heappop(heap)
+                    continue
+                if entry[0] > time:
+                    break
+                heappop(heap)
+                self._live -= 1
+                ev = candidate
+                break
             if ev is None:
                 break
-            self._fire(ev)
+            # -- inline _fire(ev) --
+            self.now = ev.time
+            fn, args = ev.fn, ev.args
+            # Mark fired before invoking so re-entrant cancels are no-ops.
+            ev.fn = None
+            ev.args = ()
+            self._events_processed += 1
+            fn(*args)
+            if self.on_event is not None:
+                self.on_event()
             processed += 1
         self.now = time
         return processed
@@ -251,8 +339,9 @@ class Simulator:
 
     @property
     def pending(self) -> int:
-        """Number of live events still queued."""
-        return sum(1 for ev in self._heap if ev.active)
+        """Number of live events still queued (O(1): a maintained counter,
+        not a heap scan — this sits inside checkpoint/invariant paths)."""
+        return self._live
 
     def active_events(self) -> list[Event]:
         """Live queued events in firing order (checkpoint/introspection).
@@ -262,4 +351,7 @@ class Simulator:
         same callbacks in the same order return equal-shaped lists even if
         their internal heap layouts differ.
         """
-        return sorted(ev for ev in self._heap if ev.active)
+        return [
+            entry[3]
+            for entry in sorted(e for e in self._heap if not e[3]._cancelled)
+        ]

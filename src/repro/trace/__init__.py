@@ -12,9 +12,10 @@ consumed CPU inside them.  This package is the simulator-side equivalent:
   explanation, reproducing the paper's Figure 4 narrative.
 """
 
-from repro.trace.recorder import Mark, RunInterval, TraceRecorder
+from repro.trace.recorder import Mark, NodeIntervalIndex, RunInterval, TraceRecorder
 from repro.trace.analysis import (
     attribute_window,
+    attribute_windows,
     explain_outliers,
     window_breakdown,
 )
@@ -22,8 +23,10 @@ from repro.trace.analysis import (
 __all__ = [
     "TraceRecorder",
     "RunInterval",
+    "NodeIntervalIndex",
     "Mark",
     "attribute_window",
+    "attribute_windows",
     "window_breakdown",
     "explain_outliers",
 ]

@@ -11,10 +11,11 @@ subset, extract summaries).
 
 from __future__ import annotations
 
+from bisect import bisect_left, bisect_right
 from dataclasses import dataclass
 from typing import Iterable, Optional
 
-__all__ = ["RunInterval", "Mark", "FaultEvent", "TraceRecorder"]
+__all__ = ["RunInterval", "Mark", "FaultEvent", "NodeIntervalIndex", "TraceRecorder"]
 
 
 @dataclass(frozen=True)
@@ -61,6 +62,57 @@ class FaultEvent:
     detail: object = None
 
 
+class NodeIntervalIndex:
+    """Stabbing index over one node's intervals: sorted by start time with
+    a running max-end array.
+
+    ``overlapping(t0, t1)`` returns every interval with ``iv.t0 < t1`` and
+    ``iv.t1 > t0`` in **insertion order**, in O(log I + k) for k results:
+    a bisect bounds the candidates by start time, and the backwards scan
+    stops as soon as the running maximum of end times falls to or below
+    ``t0`` (everything earlier ends even sooner).  Insertion order matters:
+    attribution sums floats, and returning intervals in the order the
+    naive full scan visits them keeps the sums bit-identical.
+
+    Candidates are a *superset* of positive-overlap intervals (a
+    zero-length interval inside the window matches the inequalities but
+    has zero overlap); callers apply the same ``overlap > 0`` filter the
+    naive scan uses.
+    """
+
+    __slots__ = ("_starts", "_max_end", "_entries")
+
+    def __init__(self, rows: list[tuple[float, int, RunInterval]]) -> None:
+        # rows: (t0, insertion position, interval), sorted by (t0, pos).
+        self._entries = rows
+        self._starts = [r[0] for r in rows]
+        max_end = []
+        m = float("-inf")
+        for r in rows:
+            t1 = r[2].t1
+            if t1 > m:
+                m = t1
+            max_end.append(m)
+        self._max_end = max_end
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def overlapping(self, t0: float, t1: float) -> list[RunInterval]:
+        """Intervals with ``iv.t0 < t1 and iv.t1 > t0``, insertion order."""
+        entries = self._entries
+        max_end = self._max_end
+        out = []
+        i = bisect_left(self._starts, t1) - 1
+        while i >= 0 and max_end[i] > t0:
+            e = entries[i]
+            if e[2].t1 > t0:
+                out.append((e[1], e[2]))
+            i -= 1
+        out.sort()
+        return [iv for _, iv in out]
+
+
 class TraceRecorder:
     """Collects run intervals and marks.
 
@@ -92,6 +144,16 @@ class TraceRecorder:
         self.intervals: list[RunInterval] = []
         self.marks: list[Mark] = []
         self.faults: list[FaultEvent] = []
+        # Lazy per-node interval index (and its fault-time sibling).
+        # Validity is keyed on record counts: appends (the only mutation
+        # the recording path performs) grow the list, so a count mismatch
+        # means "stale, rebuild on next query" without the recording hot
+        # path ever touching index state.
+        self._interval_index: dict[int, NodeIntervalIndex] = {}
+        self._interval_index_len = -1
+        self._fault_rows: list[tuple[float, int, FaultEvent]] = []
+        self._fault_times: list[float] = []
+        self._fault_index_len = -1
 
     def record_interval(self, node: int, cpu: int, thread, t0: float, t1: float) -> None:
         """Record one CPU occupancy (called by the dispatcher; stays cheap)."""
@@ -159,6 +221,50 @@ class TraceRecorder:
         self.intervals.clear()
         self.marks.clear()
         self.faults.clear()
+        self._interval_index = {}
+        self._interval_index_len = -1
+        self._fault_rows = []
+        self._fault_times = []
+        self._fault_index_len = -1
+
+    # ------------------------------------------------------------------
+    # Query indexes (built lazily, invalidated by appends)
+    # ------------------------------------------------------------------
+    def interval_index(self, node: int) -> Optional[NodeIntervalIndex]:
+        """The stabbing index for *node*'s intervals (None: none recorded).
+
+        Built lazily over all nodes in one pass and reused until the next
+        append invalidates it; analysis sweeps that attribute hundreds of
+        windows against the same trace pay the O(I log I) build once.
+        """
+        if self._interval_index_len != len(self.intervals):
+            per_node: dict[int, list] = {}
+            for pos, iv in enumerate(self.intervals):
+                per_node.setdefault(iv.node, []).append((iv.t0, pos, iv))
+            # Rows are generated in pos order, so each node list is already
+            # sorted by pos; sort by (t0, pos) never compares intervals.
+            self._interval_index = {
+                node: NodeIntervalIndex(sorted(rows)) for node, rows in per_node.items()
+            }
+            self._interval_index_len = len(self.intervals)
+        return self._interval_index.get(node)
+
+    def faults_in(self, t0: float, t1: float) -> list[FaultEvent]:
+        """Fault events with ``t0 <= time <= t1``, in insertion order.
+
+        Backed by a lazily-built sorted time index, so window sweeps cost
+        O(log F + k) each instead of re-scanning every recorded fault.
+        """
+        if self._fault_index_len != len(self.faults):
+            self._fault_rows = sorted(
+                (ev.time, pos, ev) for pos, ev in enumerate(self.faults)
+            )
+            self._fault_times = [r[0] for r in self._fault_rows]
+            self._fault_index_len = len(self.faults)
+        lo = bisect_left(self._fault_times, t0)
+        hi = bisect_right(self._fault_times, t1)
+        rows = sorted(self._fault_rows[lo:hi], key=lambda r: r[1])
+        return [r[2] for r in rows]
 
     def intervals_on(self, node: int) -> list[RunInterval]:
         """All intervals recorded on *node*."""

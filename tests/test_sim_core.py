@@ -365,3 +365,283 @@ class TestPropertyOrdering:
             sim.schedule_at(t, lambda: observed.append(sim.now))
         sim.run()
         assert observed == sorted(observed)
+
+
+# ----------------------------------------------------------------------
+# Tuple-heap engine regression suite
+# ----------------------------------------------------------------------
+
+class _ObjectHeapSimulator:
+    """The seed engine, preserved as a semantic twin: ``Event`` objects
+    compared via ``__lt__`` directly in the heap, no live counter, no
+    compaction.  The production tuple-heap engine must match its firing
+    order, clock, and counters exactly on any workload."""
+
+    class _Ev:
+        __slots__ = ("time", "priority", "seq", "fn", "args", "cancelled")
+
+        def __init__(self, time, priority, seq, fn, args):
+            self.time, self.priority, self.seq = time, priority, seq
+            self.fn, self.args = fn, args
+            self.cancelled = False
+
+        @property
+        def active(self):
+            return not self.cancelled and self.fn is not None
+
+        def cancel(self):
+            self.cancelled = True
+            self.fn = None
+            self.args = ()
+
+        def __lt__(self, other):
+            return (self.time, self.priority, self.seq) < (
+                other.time, other.priority, other.seq
+            )
+
+    def __init__(self):
+        import heapq as _hq
+        import itertools as _it
+
+        self._hq = _hq
+        self.now = 0.0
+        self._heap = []
+        self._seq = _it.count()
+        self.events_processed = 0
+
+    def schedule(self, delay, fn, *args, priority=EventPriority.NORMAL):
+        return self.schedule_at(self.now + delay, fn, *args, priority=priority)
+
+    def schedule_at(self, time, fn, *args, priority=EventPriority.NORMAL):
+        ev = self._Ev(time, int(priority), next(self._seq), fn, args)
+        self._hq.heappush(self._heap, ev)
+        return ev
+
+    @property
+    def pending(self):
+        return sum(1 for ev in self._heap if ev.active)
+
+    def run_until(self, time):
+        processed = 0
+        heap = self._heap
+        while heap:
+            head = heap[0]
+            if not head.active:
+                self._hq.heappop(heap)
+                continue
+            if head.time > time:
+                break
+            ev = self._hq.heappop(heap)
+            self.now = ev.time
+            fn, args = ev.fn, ev.args
+            ev.fn = None
+            ev.args = ()
+            self.events_processed += 1
+            fn(*args)
+            processed += 1
+        self.now = time
+        return processed
+
+
+def _twin_workload(sim, specs, bounds):
+    """Drive *sim* (either engine) with one deterministic workload: initial
+    events from *specs*, per-firing rescheduling plus cancellation of the
+    previous handle (the dispatcher's cancel-and-reschedule shape)."""
+    fired = []
+    last = {"h": None}
+
+    def hit(i, t, p, depth):
+        fired.append((i, sim.now, depth))
+        if last["h"] is not None and last["h"].active:
+            last["h"].cancel()
+        if depth < 3:
+            last["h"] = sim.schedule(
+                0.5 + (i % 7) * 0.25, hit, i, t, p, depth + 1, priority=p
+            )
+
+    for i, (t, p, cancel) in enumerate(specs):
+        h = sim.schedule_at(t, hit, i, t, p, 0, priority=p)
+        if cancel:
+            h.cancel()
+    log = []
+    for b in bounds:
+        log.append(("segment", b, sim.run_until(b)))
+    return fired + log
+
+
+class TestTupleHeapTwin:
+    """The tuple-heap production engine against the object-heap twin:
+    identical firing order, events_processed, pending, and clock."""
+
+    def _compare(self, specs, raw_bounds):
+        bounds = sorted(raw_bounds)
+        tuple_sim, object_sim = Simulator(), _ObjectHeapSimulator()
+        tuple_log = _twin_workload(tuple_sim, specs, bounds)
+        object_log = _twin_workload(object_sim, specs, bounds)
+        assert tuple_log == object_log
+        assert tuple_sim.now == object_sim.now
+        assert tuple_sim.events_processed == object_sim.events_processed
+        assert tuple_sim.pending == object_sim.pending
+
+    def test_twin_on_mixed_workload(self):
+        specs = [(float(i % 13) * 0.75, i % 5, i % 4 == 3) for i in range(40)]
+        self._compare(specs, [2.0, 5.0, 9.0, 40.0])
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0.0, max_value=50.0, allow_nan=False),
+                st.integers(min_value=0, max_value=4),
+                st.booleans(),
+            ),
+            min_size=1,
+            max_size=40,
+        ),
+        st.lists(
+            st.floats(min_value=0.0, max_value=80.0, allow_nan=False),
+            min_size=1,
+            max_size=5,
+        ),
+    )
+    def test_property_twin_equivalence(self, specs, raw_bounds):
+        self._compare(specs, raw_bounds)
+
+
+class TestCompaction:
+    def _cancel_heavy(self, sim, rounds):
+        """Every firing schedules a far-future decoy and cancels the
+        previous one — the preemption shape that used to accrete dead
+        entries without bound.  Returns (firing log, peak heap length)."""
+        fired = []
+        state = {"decoy": None, "peak": 0, "k": 0}
+
+        def nop():
+            raise AssertionError("decoy fired")
+
+        def tick():
+            state["k"] += 1
+            fired.append(state["k"])
+            if state["decoy"] is not None:
+                state["decoy"].cancel()
+            state["peak"] = max(state["peak"], len(sim._heap))
+            if state["k"] < rounds:
+                state["decoy"] = sim.schedule(1e9, nop)
+                sim.schedule(1.0, tick)
+
+        sim.schedule(0.0, tick)
+        sim.run_until(float(rounds) + 1.0)
+        return fired, state["peak"]
+
+    def test_cancel_heavy_heap_stays_bounded(self):
+        from repro.sim.core import _COMPACT_MIN_ENTRIES
+
+        sim = Simulator()
+        fired, peak = self._cancel_heavy(sim, rounds=5_000)
+        assert fired == list(range(1, 5_001))
+        # Live events never exceed ~2 here; without compaction the heap
+        # would end ~5000 entries deep.  Compaction caps dead weight at
+        # the live count or the compaction floor, whichever is larger.
+        assert peak <= 2 * _COMPACT_MIN_ENTRIES
+        assert len(sim._heap) <= _COMPACT_MIN_ENTRIES
+        assert sim.pending == 0
+
+    def test_cancel_heavy_matches_object_heap_twin(self):
+        tuple_sim, object_sim = Simulator(), _ObjectHeapSimulator()
+        tuple_fired, _ = self._cancel_heavy(tuple_sim, rounds=500)
+        object_fired, object_peak = self._cancel_heavy(object_sim, rounds=500)
+        assert tuple_fired == object_fired
+        assert tuple_sim.events_processed == object_sim.events_processed
+        assert object_peak >= 450  # the twin really does accrete dead weight
+
+    def test_compaction_preserves_firing_order(self):
+        """Force a compaction mid-stream and check the survivors still
+        fire in exact (time, priority, seq) order."""
+        sim = Simulator()
+        fired = []
+        handles = []
+        for i in range(300):
+            t = float((i * 37) % 100) + 1.0
+            handles.append(
+                sim.schedule_at(t, lambda i=i, t=t: fired.append((t, i)), priority=i % 5)
+            )
+        # Cancel enough to cross the dead > live threshold (triggers
+        # _compact inside cancel()).
+        survivors = []
+        for i, h in enumerate(handles):
+            if i % 5 == 0:
+                survivors.append(i)
+            else:
+                h.cancel()
+        assert len(sim._heap) < 300  # compaction actually ran
+        sim.run()
+        expected = sorted(
+            ((float((i * 37) % 100) + 1.0), i % 5, i) for i in survivors
+        )
+        assert [i for _t, _p, i in expected] == [i for _t, i in fired]
+
+    def test_explicit_compact_is_idempotent_and_orderless(self):
+        sim = Simulator()
+        hits = []
+        for i in range(10):
+            sim.schedule(float(10 - i), hits.append, i)
+        sim._compact()
+        sim._compact()
+        sim.run()
+        assert hits == list(range(9, -1, -1))
+
+
+class TestPendingCounter:
+    """``Simulator.pending`` is a maintained O(1) counter; these pin it to
+    the ground truth (a scan of live heap entries) under every transition:
+    schedule, fire, cancel, double-cancel, cancel-after-fire, compaction."""
+
+    def _ground_truth(self, sim):
+        return sum(1 for entry in sim._heap if not entry[3]._cancelled)
+
+    def test_counter_tracks_schedule_fire_cancel(self):
+        sim = Simulator()
+        handles = [sim.schedule(float(i + 1), lambda: None) for i in range(10)]
+        assert sim.pending == 10 == self._ground_truth(sim)
+        handles[3].cancel()
+        handles[3].cancel()  # double-cancel must not double-decrement
+        assert sim.pending == 9 == self._ground_truth(sim)
+        sim.run_until(5.0)
+        assert sim.pending == 5 == self._ground_truth(sim)
+        handles[0].cancel()  # cancel-after-fire must not decrement
+        assert sim.pending == 5 == self._ground_truth(sim)
+        sim.run()
+        assert sim.pending == 0 == self._ground_truth(sim)
+
+    def test_counter_matches_active_events(self):
+        sim = Simulator()
+        handles = [
+            sim.schedule(float((i * 13) % 29) + 0.5, lambda: None, priority=i % 5)
+            for i in range(200)
+        ]
+        for i, h in enumerate(handles):
+            if i % 3 != 0:
+                h.cancel()
+        assert sim.pending == len(sim.active_events()) == self._ground_truth(sim)
+        sim.run_until(10.0)
+        assert sim.pending == len(sim.active_events()) == self._ground_truth(sim)
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0.0, max_value=30.0, allow_nan=False),
+                st.booleans(),
+            ),
+            min_size=1,
+            max_size=60,
+        ),
+        st.floats(min_value=0.0, max_value=40.0, allow_nan=False),
+    )
+    def test_property_counter_equals_scan(self, specs, bound):
+        sim = Simulator()
+        handles = [sim.schedule_at(t, lambda: None) for t, _ in specs]
+        for h, (_, cancel) in zip(handles, specs):
+            if cancel:
+                h.cancel()
+        assert sim.pending == self._ground_truth(sim)
+        sim.run_until(bound)
+        assert sim.pending == self._ground_truth(sim)

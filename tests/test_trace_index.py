@@ -1,0 +1,188 @@
+"""Indexed trace attribution vs the naive full-scan reference.
+
+The interval index promises *exact* equivalence with the O(I)-per-window
+scan — not approximate: candidates come back in insertion order, so float
+accumulation order (and hence every sum) is bit-identical.  These tests
+hold it to that with hypothesis-generated traces and ``==`` on the floats.
+"""
+
+from types import SimpleNamespace
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.trace.analysis import (
+    attribute_faults,
+    attribute_faults_naive,
+    attribute_window,
+    attribute_window_naive,
+    attribute_windows,
+    overhead_report,
+    window_breakdown,
+)
+from repro.trace.recorder import NodeIntervalIndex, RunInterval, TraceRecorder
+
+_CATS = ["app", "daemon", "interrupt", "mpi_timer", "io"]
+_NAMES = ["app.rank0", "syncd", "caddpin.c3", "mpi_timer.7", "biod"]
+
+
+def _trace_from(rows) -> TraceRecorder:
+    """rows: (node, cpu, t0, dur, kind) → a populated recorder."""
+    tr = TraceRecorder(enabled=True)
+    for i, (node, cpu, t0, dur, kind) in enumerate(rows):
+        tr.intervals.append(
+            RunInterval(node, cpu, i, _NAMES[kind], _CATS[kind], t0, t0 + dur)
+        )
+    return tr
+
+
+_rows = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=2),  # node
+        st.integers(min_value=0, max_value=3),  # cpu
+        st.floats(min_value=0.0, max_value=1000.0, allow_nan=False),  # t0
+        st.floats(min_value=0.0, max_value=200.0, allow_nan=False),  # dur
+        st.integers(min_value=0, max_value=4),  # name/category kind
+    ),
+    min_size=0,
+    max_size=60,
+)
+
+_window = st.tuples(
+    st.floats(min_value=-50.0, max_value=1200.0, allow_nan=False),
+    st.floats(min_value=0.0, max_value=400.0, allow_nan=False),
+)
+
+
+class TestIndexedWindowEquivalence:
+    @given(_rows, _window, st.integers(min_value=0, max_value=2))
+    @settings(max_examples=200)
+    def test_property_attribute_window_matches_naive(self, rows, window, node):
+        trace = _trace_from(rows)
+        w0, dur = window
+        indexed = attribute_window(trace, node, w0, w0 + dur)
+        naive = attribute_window_naive(trace, node, w0, w0 + dur)
+        # Exact dict equality: keys AND float sums must match to the bit.
+        assert indexed.by_name == naive.by_name
+        assert indexed.by_category == naive.by_category
+        assert indexed.interference_us == naive.interference_us
+
+    @given(_rows, st.lists(_window, min_size=1, max_size=8))
+    @settings(max_examples=100)
+    def test_property_batched_windows_match_naive_loop(self, rows, windows):
+        trace = _trace_from(rows)
+        ws = [(w0, w0 + dur) for w0, dur in windows]
+        batched = attribute_windows(trace, 1, ws)
+        for att, (t0, t1) in zip(batched, ws):
+            ref = attribute_window_naive(trace, 1, t0, t1)
+            assert att.by_name == ref.by_name
+            assert att.by_category == ref.by_category
+
+    @given(_rows, _window)
+    @settings(max_examples=100)
+    def test_property_ducktyped_stub_matches_recorder(self, rows, window):
+        """A bare-``intervals`` stub takes the full-scan fallback; results
+        must equal the indexed path on the same data."""
+        trace = _trace_from(rows)
+        stub = SimpleNamespace(intervals=trace.intervals)
+        w0, dur = window
+        via_index = attribute_window(trace, 0, w0, w0 + dur)
+        via_stub = attribute_window(stub, 0, w0, w0 + dur)
+        assert via_index.by_name == via_stub.by_name
+        assert via_index.by_category == via_stub.by_category
+
+    def test_overhead_report_matches_fullscan_stub(self):
+        rows = [
+            (0, i % 4, float(i) * 3.0, 5.0 + (i % 7), i % 5) for i in range(400)
+        ]
+        trace = _trace_from(rows)
+        stub = SimpleNamespace(intervals=trace.intervals)
+        rep = overhead_report(trace, 0, 100.0, 900.0, 4)
+        ref = overhead_report(stub, 0, 100.0, 900.0, 4)
+        assert rep.by_daemon == ref.by_daemon
+        assert rep.per_cpu_fraction == ref.per_cpu_fraction
+        # Interrupt per-CPU instances fold into the base name either way.
+        assert "caddpin" in rep.by_daemon and "caddpin.c3" not in rep.by_daemon
+
+    def test_window_breakdown_matches_fullscan_stub(self):
+        rows = [(1, i % 4, float(i) * 2.0, 4.0, i % 5) for i in range(200)]
+        trace = _trace_from(rows)
+        stub = SimpleNamespace(intervals=trace.intervals)
+        assert window_breakdown(trace, 1, 50.0, 300.0, 4) == window_breakdown(
+            stub, 1, 50.0, 300.0, 4
+        )
+
+
+class TestIndexMaintenance:
+    def test_index_invalidated_on_append(self):
+        trace = _trace_from([(0, 0, 10.0, 5.0, 1)])
+        before = attribute_window(trace, 0, 0.0, 100.0)
+        assert before.by_name == {"syncd": 5.0}
+        # Append after the index was built; the next query must see it.
+        trace.intervals.append(RunInterval(0, 1, 99, "mmfsd", "daemon", 20.0, 28.0))
+        after = attribute_window(trace, 0, 0.0, 100.0)
+        assert after.by_name == {"syncd": 5.0, "mmfsd": 8.0}
+
+    def test_index_unknown_node_is_empty(self):
+        trace = _trace_from([(0, 0, 10.0, 5.0, 1)])
+        assert trace.interval_index(7) is None
+        assert attribute_window(trace, 7, 0.0, 100.0).by_name == {}
+
+    def test_index_candidates_preserve_insertion_order(self):
+        # Deliberately record out of time order: insertion order (pos), not
+        # start-time order, is the accumulation contract.
+        tr = TraceRecorder(enabled=True)
+        tr.intervals.append(RunInterval(0, 0, 0, "b", "daemon", 50.0, 60.0))
+        tr.intervals.append(RunInterval(0, 1, 1, "a", "daemon", 10.0, 55.0))
+        idx = tr.interval_index(0)
+        assert isinstance(idx, NodeIntervalIndex)
+        assert [iv.name for iv in idx.overlapping(0.0, 100.0)] == ["b", "a"]
+
+    @given(_rows, _window, st.integers(min_value=0, max_value=2))
+    @settings(max_examples=100)
+    def test_property_overlapping_equals_filter(self, rows, window, node):
+        trace = _trace_from(rows)
+        idx = trace.interval_index(node)
+        w0, dur = window
+        got = list(idx.overlapping(w0, w0 + dur)) if idx is not None else []
+        want = [
+            iv
+            for iv in trace.intervals
+            if iv.node == node and iv.t1 > w0 and iv.t0 < w0 + dur
+        ]
+        assert got == want
+
+
+class TestFaultAttributionEquivalence:
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=-1, max_value=2),  # node (-1 = cluster)
+                st.floats(min_value=0.0, max_value=500.0, allow_nan=False),
+            ),
+            min_size=0,
+            max_size=30,
+        ),
+        st.lists(_window, min_size=1, max_size=6),
+        st.one_of(st.none(), st.integers(min_value=0, max_value=2)),
+        st.floats(min_value=0.0, max_value=50.0, allow_nan=False),
+    )
+    @settings(max_examples=150)
+    def test_property_matches_naive(self, faults, windows, node, slack):
+        tr = TraceRecorder(enabled=True)
+        for i, (fnode, t) in enumerate(faults):
+            tr.record_fault("node_crash" if i % 2 else "daemon_kill", fnode, t)
+        ws = [(w0, w0 + dur) for w0, dur in windows]
+        assert attribute_faults(tr, ws, node, slack) == attribute_faults_naive(
+            tr, ws, node, slack
+        )
+
+    def test_fault_index_invalidated_on_record(self):
+        tr = TraceRecorder(enabled=True)
+        tr.record_fault("node_crash", 0, 100.0)
+        assert len(tr.faults_in(0.0, 200.0)) == 1
+        tr.record_fault("daemon_kill", 0, 150.0)
+        assert [ev.kind for ev in tr.faults_in(0.0, 200.0)] == [
+            "node_crash",
+            "daemon_kill",
+        ]
