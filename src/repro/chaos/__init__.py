@@ -1,0 +1,55 @@
+"""Chaos campaign engine: randomized fault-schedule fuzzing with oracles.
+
+Pipeline: :mod:`~repro.chaos.generator` draws seed-deterministic fault
+schedules across every fault axis → :mod:`~repro.chaos.oracles` judges
+each run for liveness, safety, and determinism → failures are minimized
+by :mod:`~repro.chaos.shrink`'s ddmin → minimized counterexamples land in
+the regression corpus (``tests/chaos_corpus/``) via
+:mod:`~repro.chaos.campaign`, which also owns the campaign driver behind
+``repro-experiments chaos``.
+"""
+
+from repro.chaos.campaign import (
+    ChaosCampaignResult,
+    chaos_workload,
+    format_chaos,
+    load_corpus_entry,
+    replay_corpus_entry,
+    run_chaos,
+    save_corpus_entry,
+)
+from repro.chaos.generator import estimated_span_us, generate_schedule
+from repro.chaos.oracles import (
+    ORACLES,
+    ChaosRunResult,
+    OracleReport,
+    judge,
+    liveness_bound_us,
+    run_schedule,
+)
+from repro.chaos.schedule import ENTRY_KINDS, ChaosSchedule, ChaosWorkload
+from repro.chaos.shrink import ShrinkResult, ddmin, shrink_schedule
+
+__all__ = [
+    "ENTRY_KINDS",
+    "ORACLES",
+    "ChaosCampaignResult",
+    "ChaosRunResult",
+    "ChaosSchedule",
+    "ChaosWorkload",
+    "OracleReport",
+    "ShrinkResult",
+    "chaos_workload",
+    "ddmin",
+    "estimated_span_us",
+    "format_chaos",
+    "generate_schedule",
+    "judge",
+    "liveness_bound_us",
+    "load_corpus_entry",
+    "replay_corpus_entry",
+    "run_chaos",
+    "run_schedule",
+    "save_corpus_entry",
+    "shrink_schedule",
+]

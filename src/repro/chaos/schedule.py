@@ -1,0 +1,184 @@
+"""Chaos schedules: the pure-data unit the fuzzer generates and shrinks.
+
+A :class:`ChaosSchedule` is one randomized fault scenario: the workload
+shape (ranks, calls, time compression — identical to the E8 resilience
+scale) plus a flat list of *fault entries*, each a plain JSON-able dict.
+The flat list is the whole point: it is exactly the representation ddmin
+wants (remove entries, schedule still composes), it round-trips through
+JSON bit-exactly (doubles survive ``json`` unchanged), and it composes
+deterministically into the :class:`~repro.config.FaultConfig` the fault
+injector already understands.
+
+Entry kinds
+-----------
+``net``       stochastic fabric faults: ``drop_prob`` / ``dup_prob`` /
+              ``delay_prob``, ``delay_us``, active ``window_us=[lo, hi]``
+``pipe``      control-pipe loss: ``prob``
+``node``      one scheduled node fault: ``node``, ``fault`` ("crash" or
+              "slowdown"), ``at_us``, ``duration_us``, ``fraction``
+``cosched``   one co-scheduler fault: ``node``, ``fault`` ("die" or
+              "hang"), ``at_us``, ``duration_us``
+``timesync``  global clock loss: ``at_us``, ``jump_us``, ``drift_rate``
+
+``net``, ``pipe`` and ``timesync`` are singleton axes (at most one entry
+each — :meth:`ChaosSchedule.fault_config` rejects duplicates); ``node``
+and ``cosched`` entries may appear any number of times.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.config import CoschedFaultSpec, FaultConfig, NodeFaultSpec
+from repro.units import ms, s
+
+__all__ = ["ChaosWorkload", "ChaosSchedule", "ENTRY_KINDS"]
+
+#: Every entry ``kind`` the composer understands, singleton axes first.
+ENTRY_KINDS = ("net", "pipe", "timesync", "node", "cosched")
+
+_SINGLETON_KINDS = ("net", "pipe", "timesync")
+
+
+@dataclass(frozen=True)
+class ChaosWorkload:
+    """Shape of the job every chaos run executes (compute + Allreduce
+    loop, the aggregate_trace body), at E8's compressed time scale."""
+
+    n_ranks: int = 16
+    tasks_per_node: int = 8
+    calls: int = 900
+    compute_between_us: float = 200.0
+    time_compression: float = 50.0
+
+    def __post_init__(self) -> None:
+        if self.n_ranks < 2 or self.tasks_per_node < 1 or self.calls < 1:
+            raise ValueError("workload shape must be positive (>= 2 ranks)")
+        if self.compute_between_us < 0 or self.time_compression <= 0:
+            raise ValueError("compute/time_compression out of range")
+
+    @property
+    def n_nodes(self) -> int:
+        return -(-self.n_ranks // self.tasks_per_node)
+
+    @property
+    def period_us(self) -> float:
+        """Compressed co-scheduler window period (E8's scale rule)."""
+        return s(5) / self.time_compression
+
+
+@dataclass(frozen=True)
+class ChaosSchedule:
+    """One seed-deterministic fault scenario: workload + fault entries."""
+
+    seed: int
+    workload: ChaosWorkload = field(default_factory=ChaosWorkload)
+    entries: tuple = ()
+
+    def __post_init__(self) -> None:
+        for e in self.entries:
+            if not isinstance(e, dict) or e.get("kind") not in ENTRY_KINDS:
+                raise ValueError(f"bad chaos entry {e!r}; kinds: {ENTRY_KINDS}")
+
+    # ------------------------------------------------------------------
+    # Composition into the injector's config
+    # ------------------------------------------------------------------
+    def fault_config(self) -> FaultConfig:
+        """Compose the entries into one validated :class:`FaultConfig`.
+
+        Resilience policy (retransmit timeouts, watchdog cadence) is part
+        of the system under test, not the schedule: it is fixed here,
+        scaled to the compressed co-scheduler period exactly as E8 does,
+        so every generated scenario exercises the same defenses.
+        """
+        w = self.workload
+        kinds = [e["kind"] for e in self.entries]
+        for kind in _SINGLETON_KINDS:
+            if kinds.count(kind) > 1:
+                raise ValueError(f"duplicate singleton chaos axis {kind!r}")
+
+        kwargs: dict = dict(
+            enabled=True,
+            retransmit_timeout_us=ms(2),
+            retransmit_max_timeout_us=ms(16),
+            watchdog_interval_us=w.period_us / 2.0,
+        )
+        node_faults = []
+        cosched_faults = []
+        for e in self.entries:
+            kind = e["kind"]
+            if kind == "net":
+                kwargs.update(
+                    msg_drop_prob=e.get("drop_prob", 0.0),
+                    msg_dup_prob=e.get("dup_prob", 0.0),
+                    msg_delay_prob=e.get("delay_prob", 0.0),
+                    msg_delay_us=e.get("delay_us", ms(2)),
+                    net_window_us=tuple(e.get("window_us", (0.0, float("inf")))),
+                )
+            elif kind == "pipe":
+                kwargs.update(pipe_loss_prob=e["prob"])
+            elif kind == "timesync":
+                kwargs.update(
+                    timesync_loss_at_us=e["at_us"],
+                    clock_jump_us=e["jump_us"],
+                    clock_drift_rate=e["drift_rate"],
+                )
+            elif kind == "node":
+                node_faults.append(
+                    NodeFaultSpec(
+                        node=e["node"],
+                        at_us=e["at_us"],
+                        duration_us=e["duration_us"],
+                        kind=e["fault"],
+                        fraction=e.get("fraction", 0.5),
+                        period_us=e.get("period_us", ms(10)),
+                    )
+                )
+            else:  # cosched
+                cosched_faults.append(
+                    CoschedFaultSpec(
+                        node=e["node"],
+                        at_us=e["at_us"],
+                        kind=e["fault"],
+                        duration_us=e.get("duration_us", 0.0),
+                    )
+                )
+        cfg = FaultConfig(
+            node_faults=tuple(node_faults),
+            cosched_faults=tuple(cosched_faults),
+            **kwargs,
+        )
+        cfg.validate_targets(w.n_nodes)
+        return cfg
+
+    # ------------------------------------------------------------------
+    # Derivation helpers (used by the shrinker)
+    # ------------------------------------------------------------------
+    def with_entries(self, entries) -> "ChaosSchedule":
+        """Copy with a different entry list (ddmin / field shrinking)."""
+        return replace(self, entries=tuple(entries))
+
+    # ------------------------------------------------------------------
+    # Exact JSON round trip (regression corpus format)
+    # ------------------------------------------------------------------
+    def to_json(self) -> dict:
+        """Plain-JSON form; ``from_json`` restores it bit-exactly."""
+        return {
+            "seed": self.seed,
+            "workload": {
+                "n_ranks": self.workload.n_ranks,
+                "tasks_per_node": self.workload.tasks_per_node,
+                "calls": self.workload.calls,
+                "compute_between_us": self.workload.compute_between_us,
+                "time_compression": self.workload.time_compression,
+            },
+            "entries": [dict(e) for e in self.entries],
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "ChaosSchedule":
+        return cls(
+            seed=int(data["seed"]),
+            workload=ChaosWorkload(**data["workload"]),
+            entries=tuple(data["entries"]),
+        )

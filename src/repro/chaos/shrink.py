@@ -1,0 +1,175 @@
+"""ddmin shrinking of failing chaos schedules.
+
+A fuzzer-found failure usually carries a pile of irrelevant faults; the
+counterexample worth committing to the regression corpus is the minimal
+one.  Two phases, both re-running the oracle through the simulator:
+
+* **Entry minimization** — Zeller & Hildebrandt's ddmin over the flat
+  entry list: try complements at increasing granularity, keep any subset
+  on which the *same oracle* still fails, until the list is 1-minimal
+  (removing any single entry makes the failure vanish).
+* **Field shrinking** — per-entry value reduction: halve probabilities,
+  durations, delays, jumps and drifts; push fault times later (toward
+  the end of the run).  Each candidate must keep the failure alive;
+  passes repeat until a whole pass makes no progress.
+
+Every probe costs one oracle evaluation (one or two DES runs), so the
+shrinker runs under an evaluation budget: when it is exhausted the best
+schedule found so far is returned — still failing, just possibly not
+1-minimal.  All decisions are deterministic (no randomness, fixed probe
+order), so shrinking the same failure twice yields byte-identical
+minimized schedules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.chaos.oracles import judge
+from repro.chaos.schedule import ChaosSchedule
+
+__all__ = ["ShrinkResult", "shrink_schedule", "ddmin"]
+
+#: Fields eligible for halving, per entry kind.
+_HALVE_FIELDS = {
+    "net": ("drop_prob", "dup_prob", "delay_prob", "delay_us"),
+    "pipe": ("prob",),
+    "node": ("duration_us", "fraction"),
+    "cosched": ("duration_us",),
+    "timesync": ("jump_us", "drift_rate"),
+}
+
+#: Fields pushed later (toward the end of the run) instead of halved.
+_LATER_FIELDS = {"node": ("at_us",), "cosched": ("at_us",), "timesync": ("at_us",)}
+
+#: Below this, a probability/magnitude is not worth distinguishing from
+#: zero and further halving just burns budget.
+_FLOOR = 1e-4
+
+
+@dataclass
+class ShrinkResult:
+    """Outcome of one shrink: the minimized schedule plus telemetry."""
+
+    schedule: ChaosSchedule
+    original_entries: int
+    evals: int
+    budget: int
+
+    @property
+    def minimized_entries(self) -> int:
+        return len(self.schedule.entries)
+
+
+def ddmin(items: list, still_fails: Callable[[list], bool]) -> list:
+    """Classic ddmin: 1-minimal sublist of *items* on which
+    ``still_fails`` holds.  Assumes ``still_fails(items)`` is True."""
+    n = 2
+    while len(items) >= 2:
+        chunk = max(1, len(items) // n)
+        reduced = False
+        for start in range(0, len(items), chunk):
+            complement = items[:start] + items[start + chunk:]
+            if complement and still_fails(complement):
+                items = complement
+                n = max(n - 1, 2)
+                reduced = True
+                break
+        if not reduced:
+            if n >= len(items):
+                break
+            n = min(len(items), 2 * n)
+    return items
+
+
+#: Optional fields the composer defaults when absent — removal is the
+#: cleanest shrink of all, so it is tried before halving.
+_REMOVABLE_FIELDS = {
+    "net": ("drop_prob", "dup_prob", "delay_prob", "delay_us", "window_us"),
+}
+
+
+def _field_candidates(entry: dict, span_us: float):
+    """Yield reduced variants of *entry*, one changed field at a time."""
+    kind = entry["kind"]
+    for name in _REMOVABLE_FIELDS.get(kind, ()):
+        if name in entry:
+            yield {k: v for k, v in entry.items() if k != name}
+    for name in _HALVE_FIELDS.get(kind, ()):
+        value = entry.get(name)
+        if isinstance(value, (int, float)) and value > _FLOOR:
+            yield {**entry, name: value * 0.5}
+    for name in _LATER_FIELDS.get(kind, ()):
+        value = entry.get(name)
+        if isinstance(value, (int, float)):
+            later = value + 0.5 * (0.9 * span_us - value)
+            if later > value * 1.01:
+                yield {**entry, name: later}
+    if kind == "net" and isinstance(entry.get("window_us"), list):
+        lo, hi = entry["window_us"]
+        mid = lo + 0.5 * (hi - lo)
+        if hi - mid > _FLOOR:
+            yield {**entry, "window_us": [mid, hi]}  # shorter: starts later
+
+
+def shrink_schedule(
+    schedule: ChaosSchedule,
+    primary_failure: str,
+    *,
+    check_determinism: Optional[bool] = None,
+    budget: int = 60,
+    span_us: Optional[float] = None,
+) -> ShrinkResult:
+    """Minimize *schedule* while *primary_failure* keeps failing.
+
+    *primary_failure* is one oracle name (``liveness`` / ``safety`` /
+    ``determinism``); a candidate reproduces the bug iff that oracle
+    still fails on it — pinning the failure kind stops the shrinker from
+    wandering onto a different bug mid-minimization.  The determinism
+    replay is only paid when the bug *is* a determinism bug.
+    """
+    if check_determinism is None:
+        check_determinism = primary_failure == "determinism"
+    evals = 0
+
+    def still_fails_schedule(candidate: ChaosSchedule) -> bool:
+        nonlocal evals
+        if evals >= budget:
+            return False  # budget gone: conservatively reject the probe
+        try:
+            candidate.fault_config()  # invalid compositions never reproduce
+        except ValueError:
+            return False
+        evals += 1
+        report = judge(candidate, check_determinism=check_determinism)
+        return primary_failure in report.failed
+
+    def still_fails_entries(entries: list) -> bool:
+        return still_fails_schedule(schedule.with_entries(entries))
+
+    entries = ddmin(list(schedule.entries), still_fails_entries)
+
+    # Field shrinking, to fixpoint or budget.
+    span = span_us if span_us is not None else max(
+        (e.get("at_us", 0.0) for e in entries), default=0.0
+    ) + 2.0 * schedule.workload.period_us
+    progress = True
+    while progress and evals < budget:
+        progress = False
+        for i, entry in enumerate(entries):
+            for candidate in _field_candidates(entry, span):
+                trial = entries[:i] + [candidate] + entries[i + 1:]
+                if still_fails_entries(trial):
+                    entries = trial
+                    progress = True
+                    break  # re-derive candidates from the shrunk entry
+            if progress:
+                break
+
+    return ShrinkResult(
+        schedule=schedule.with_entries(entries),
+        original_entries=len(schedule.entries),
+        evals=evals,
+        budget=budget,
+    )

@@ -144,9 +144,20 @@ class SweepJournal:
         """Journal a completed trial (atomic; visible only when whole)."""
         _atomic_write_json(self._path(key), {"status": "ok", "record": record})
 
-    def record_failure(self, key: str, reason: str) -> None:
-        """Journal a failed trial (kept for forensics, retried on resume)."""
-        _atomic_write_json(self._path(key), {"status": "failed", "reason": reason})
+    def record_failure(
+        self, key: str, reason: str, traceback: Optional[str] = None
+    ) -> None:
+        """Journal a failed trial (kept for forensics, retried on resume).
+
+        *traceback* is the full formatted traceback of the failure when
+        one is available and deterministic (see
+        :func:`repro.experiments.runner.format_trial_traceback`), so a
+        chaos or sweep failure is diagnosable from the journal alone.
+        """
+        _atomic_write_json(
+            self._path(key),
+            {"status": "failed", "reason": reason, "traceback": traceback},
+        )
 
     def entries(self) -> dict[str, dict]:
         """All journal entries by sanitised key (forensics/tests)."""

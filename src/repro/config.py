@@ -526,10 +526,11 @@ class FaultConfig:
     plane on the fabric, no retransmit timers, no watchdogs, no extra RNG
     draws — runs are bit-identical to a config without this section (the
     zero-overhead invariant, held by a regression test).  All randomness
-    flows from named :mod:`repro.rng` streams (``faults.net``,
-    ``faults.pipe``, ``faults.clock``), so fault scenarios are exactly
-    reproducible and adding a fault consumer does not perturb daemon
-    noise draws.
+    flows from named :mod:`repro.rng` streams (``faults.net.drop`` /
+    ``faults.net.delay`` / ``faults.net.dup``, ``faults.pipe``,
+    ``faults.clock``), so fault scenarios are exactly reproducible,
+    adding a fault consumer does not perturb daemon noise draws, and
+    enabling one network fault type does not reshuffle another's.
     """
 
     enabled: bool = False
@@ -595,6 +596,10 @@ class FaultConfig:
             raise ValueError("net_window_us must be (lo, hi) with hi >= lo")
         if self.msg_delay_us < 0 or self.clock_jump_us < 0 or self.clock_drift_rate < 0:
             raise ValueError("fault magnitudes must be >= 0")
+        if lo < 0:
+            raise ValueError("net_window_us must not start before t=0")
+        if self.timesync_loss_at_us is not None and self.timesync_loss_at_us < 0:
+            raise ValueError("timesync_loss_at_us must be >= 0")
         if self.retransmit_timeout_us <= 0 or self.retransmit_backoff < 1.0:
             raise ValueError("retransmit_timeout_us > 0 and backoff >= 1 required")
         if self.retransmit_max_attempts < 1:
@@ -605,6 +610,26 @@ class FaultConfig:
     @property
     def any_net_faults(self) -> bool:
         return self.msg_drop_prob > 0 or self.msg_dup_prob > 0 or self.msg_delay_prob > 0
+
+    def validate_targets(self, n_nodes: int) -> None:
+        """Reject fault specs aimed at nodes the cluster does not have.
+
+        Per-spec validation (``__post_init__``) can only check ``node >= 0``
+        — the cluster size is unknown at config construction.  The fault
+        injector calls this with the real node count, so a generated or
+        hand-written schedule targeting a phantom node fails fast with a
+        clear message instead of corrupting a run (or KeyError-ing deep
+        inside an event callback mid-simulation).
+        """
+        bad = sorted(
+            {s.node for s in self.node_faults if s.node >= n_nodes}
+            | {s.node for s in self.cosched_faults if s.node >= n_nodes}
+        )
+        if bad:
+            raise ValueError(
+                f"fault specs target unknown node(s) {bad}: "
+                f"cluster has {n_nodes} node(s), valid ids are 0..{n_nodes - 1}"
+            )
 
 
 @dataclass(frozen=True)

@@ -10,6 +10,7 @@
     repro-experiments fig6 --results results/run1         # JSON + journal
     repro-experiments fig6 --results results/run1 --resume  # skip done trials
     repro-experiments e9 --quick          # crash/restart round-trip check
+    repro-experiments chaos --quick --seeds 8 --jobs 2   # fault fuzzing
 
 Parallelism: ``--jobs N`` fans the independent (scenario, count, seed)
 trials of every campaign out over N worker processes via
@@ -97,7 +98,7 @@ def main(argv: list[str] | None = None) -> int:
             "tpn15", "speedup", "timers", "ale3d", "ablation",
             "multijob", "hw", "finegrain", "misalign", "resilience",
             "waitmode", "sensitivity", "granularity", "validate", "e9",
-            "all", "extensions",
+            "chaos", "all", "extensions",
         ],
     )
     parser.add_argument("--quick", action="store_true", help="smaller sweeps for a fast pass")
@@ -119,6 +120,27 @@ def main(argv: list[str] | None = None) -> int:
         "--jobs", type=int, metavar="N", default=1,
         help="run independent trials across N worker processes "
              "(default: 1, serial); results are bit-identical either way",
+    )
+    chaos_group = parser.add_argument_group("chaos campaign (E10)")
+    chaos_group.add_argument(
+        "--seeds", type=int, metavar="N", default=32,
+        help="chaos: number of random fault schedules to judge (default: 32)",
+    )
+    chaos_group.add_argument(
+        "--seed-base", type=int, metavar="S", default=0,
+        help="chaos: first schedule seed (campaign covers S .. S+N-1)",
+    )
+    chaos_group.add_argument(
+        "--no-shrink", action="store_true",
+        help="chaos: report failures without ddmin-minimizing them",
+    )
+    chaos_group.add_argument(
+        "--shrink-budget", type=int, metavar="N", default=60,
+        help="chaos: max oracle evaluations per shrink (default: 60)",
+    )
+    chaos_group.add_argument(
+        "--corpus-out", metavar="DIR",
+        help="chaos: write minimized failing schedules to DIR as corpus JSON",
     )
     args = parser.parse_args(argv)
     if args.jobs < 1:
@@ -254,6 +276,21 @@ def main(argv: list[str] | None = None) -> int:
                 ("compute_us", "vanilla_eff", "prototype_eff"),
                 zip(res.compute_us, res.vanilla_efficiency, res.prototype_efficiency),
             )
+        elif name == "chaos":
+            from repro.chaos import format_chaos, run_chaos
+
+            res = run_chaos(
+                seeds=args.seeds,
+                seed_base=args.seed_base,
+                quick=args.quick,
+                shrink=not args.no_shrink,
+                shrink_budget=args.shrink_budget,
+                corpus_out=args.corpus_out,
+                **harness,
+            )
+            print(format_chaos(res))
+            if res.failures:
+                return 1
         elif name == "validate":
             from repro.experiments.validate import format_validation, run_validation
 

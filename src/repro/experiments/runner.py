@@ -33,16 +33,30 @@ top-level names and params must pickle.
 
 from __future__ import annotations
 
+import contextlib
 import importlib
 import multiprocessing
 import os
+import traceback as _traceback
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Callable, Optional, Sequence
 
-from repro.checkpoint.harness import SweepJournal, TrialFailure, trial_watchdog
+from repro.checkpoint import harness as _harness
+from repro.checkpoint.harness import (
+    SweepJournal,
+    TrialFailure,
+    TrialTimeout,
+    trial_watchdog,
+)
 
-__all__ = ["TrialSpec", "TrialOutcome", "TrialRunner", "resolve_trial_fn"]
+__all__ = [
+    "TrialSpec",
+    "TrialOutcome",
+    "TrialRunner",
+    "resolve_trial_fn",
+    "format_trial_traceback",
+]
 
 
 @dataclass(frozen=True)
@@ -69,6 +83,38 @@ def resolve_trial_fn(path: str) -> Callable[[dict], dict]:
     return getattr(importlib.import_module(mod_name), fn_name)
 
 
+#: Frames belonging to the execution machinery itself, stripped from
+#: captured trial tracebacks: the serial path raises through ``_run_one``
+#: and the pool path through ``_execute_trial`` (plus contextmanager
+#: plumbing), so keeping those frames would make otherwise-identical
+#: failures journal differently — breaking the byte-identical
+#: serial-vs-parallel contract.
+_HARNESS_FILES = frozenset({__file__, _harness.__file__, contextlib.__file__})
+
+
+def format_trial_traceback(exc: BaseException) -> Optional[str]:
+    """Deterministic formatted traceback of a failed trial, or ``None``.
+
+    Keeps only the frames below the runner/watchdog machinery — the trial
+    function on down — so the string is identical whether the exception
+    was raised in-process or in a pool worker.  Timeouts return ``None``:
+    ``SIGALRM`` lands at an arbitrary bytecode boundary, so their
+    tracebacks are wall-clock noise, not diagnosis.
+    """
+    if isinstance(exc, TrialTimeout):
+        return None
+    frames = [
+        f
+        for f in _traceback.extract_tb(exc.__traceback__)
+        if f.filename not in _HARNESS_FILES
+    ]
+    if not frames:
+        return None
+    return "".join(
+        _traceback.format_list(frames) + _traceback.format_exception_only(exc)
+    )
+
+
 @dataclass
 class TrialOutcome:
     """Result of one trial: its record, or a failure reason."""
@@ -76,6 +122,9 @@ class TrialOutcome:
     key: str
     record: Optional[dict]
     error: Optional[str] = None
+    #: Full formatted traceback of the failure, when one was captured
+    #: (harness frames stripped; ``None`` for timeouts and worker deaths).
+    traceback: Optional[str] = None
     #: Served from the journal instead of recomputed (resume telemetry).
     cached: bool = False
 
@@ -110,12 +159,13 @@ def _execute_trial(
             record = resolve_trial_fn(spec.fn)(spec.params)
     except Exception as exc:
         reason = f"{type(exc).__name__}: {exc}"
+        tb = format_trial_traceback(exc)
         if journal is not None:
-            journal.record_failure(spec.key, reason)
-        return spec.key, None, reason
+            journal.record_failure(spec.key, reason, traceback=tb)
+        return spec.key, None, reason, tb
     if journal is not None:
         journal.record(spec.key, record)
-    return spec.key, record, None
+    return spec.key, record, None, None
 
 
 class TrialRunner:
@@ -179,9 +229,10 @@ class TrialRunner:
                 record = resolve_trial_fn(spec.fn)(spec.params)
         except Exception as exc:  # KeyboardInterrupt still aborts.
             reason = f"{type(exc).__name__}: {exc}"
+            tb = format_trial_traceback(exc)
             if self.journal is not None:
-                self.journal.record_failure(spec.key, reason)
-            return TrialOutcome(spec.key, None, error=reason)
+                self.journal.record_failure(spec.key, reason, traceback=tb)
+            return TrialOutcome(spec.key, None, error=reason, traceback=tb)
         if self.journal is not None:
             self.journal.record(spec.key, record)
         return TrialOutcome(spec.key, record)
@@ -202,13 +253,15 @@ class TrialRunner:
             ]
             for spec, future in futures:
                 try:
-                    key, record, error = future.result()
+                    key, record, error, tb = future.result()
                 except Exception as exc:
                     # The worker process itself died (BrokenProcessPool);
                     # the trial never journaled, so record it here.
-                    key, record, error = spec.key, None, f"{type(exc).__name__}: {exc}"
+                    key, record, error, tb = (
+                        spec.key, None, f"{type(exc).__name__}: {exc}", None,
+                    )
                     if self.journal is not None:
                         self.journal.record_failure(key, error)
-                outcomes[key] = TrialOutcome(key, record, error=error)
+                outcomes[key] = TrialOutcome(key, record, error=error, traceback=tb)
         if self.journal is not None:
             self.journal.merge_shards()

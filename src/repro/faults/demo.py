@@ -1,0 +1,54 @@
+"""Test-only planted resilience bugs — the chaos fuzzer's shooting range.
+
+The chaos campaign (:mod:`repro.chaos`) earns its keep by finding real
+resilience bugs, but a healthy tree has none to find.  This module lets
+tests and CI *plant* one: each named bug, when enabled, re-introduces a
+specific, realistic defect into the resilience layer so the fuzzer can
+demonstrate end-to-end that it detects the failure, ddmin-shrinks the
+triggering schedule, and replays the minimized counterexample from the
+corpus.
+
+Bugs are enabled via the ``REPRO_CHAOS_BUG`` environment variable (a
+comma-separated list of names), which survives the ``fork``/``spawn``
+into :class:`~repro.experiments.runner.TrialRunner` worker processes —
+the campaign path the fuzzer actually runs on.  The guard is consulted
+only on cold resilience paths (e.g. the retransmit attempt that reaches
+the cap), so the flag costs nothing in ordinary runs.
+
+Known bugs
+----------
+``retransmit_giveup``
+    :class:`~repro.mpi.messages.ReliableTransport` gives up after
+    ``max_attempts`` instead of taking the guaranteed link-level path:
+    the message is silently lost forever, so a collective that loses one
+    of its round messages deadlocks — the exact bounded-loss violation
+    the forced path exists to prevent, and the one the liveness oracle
+    must catch.
+"""
+
+from __future__ import annotations
+
+import os
+
+__all__ = ["KNOWN_BUGS", "demo_bug_enabled"]
+
+#: Environment variable holding the comma-separated list of planted bugs.
+ENV_VAR = "REPRO_CHAOS_BUG"
+
+#: Every bug name the resilience layer knows how to plant.
+KNOWN_BUGS = frozenset({"retransmit_giveup"})
+
+
+def demo_bug_enabled(name: str) -> bool:
+    """True when the named planted bug is switched on via ``REPRO_CHAOS_BUG``.
+
+    Reads the environment on every call (cheap: callers sit on cold
+    paths) so tests can flip bugs with ``monkeypatch.setenv`` and worker
+    processes inherit the campaign's setting without plumbing.
+    """
+    if name not in KNOWN_BUGS:
+        raise ValueError(f"unknown demo bug {name!r}; known: {sorted(KNOWN_BUGS)}")
+    flags = os.environ.get(ENV_VAR, "")
+    if not flags:
+        return False
+    return name in {f.strip() for f in flags.split(",")}

@@ -42,16 +42,24 @@ class NetFaultPlane:
     ``plan(src, dst, nbytes)`` returns the extra latencies at which copies
     of the message should arrive: ``(0.0,)`` is clean delivery, ``()`` a
     drop, two entries a duplication.  Node-internal (shared-memory)
-    transfers are never faulted.  Decisions draw from the dedicated
-    ``faults.net`` stream, in a fixed order, only for faults whose
-    probability is non-zero — so a given config replays identically and
-    enabling one fault type does not reshuffle another's draws.
+    transfers are never faulted.  Each fault type draws from its own
+    dedicated stream (``faults.net.drop`` / ``faults.net.delay`` /
+    ``faults.net.dup``), and only when its probability is non-zero — so a
+    given config replays identically *and* enabling one fault type cannot
+    reshuffle another type's draws (the stream-ordering contract the
+    hypothesis property test in ``tests/test_faults.py`` pins; chaos
+    shrinking relies on it to vary one axis at a time).
+
+    *rngs* maps ``{"drop": g, "delay": g, "dup": g}`` to the per-type
+    generators.
     """
 
-    def __init__(self, sim, config: FaultConfig, rng, stats) -> None:
+    def __init__(self, sim, config: FaultConfig, rngs: dict, stats) -> None:
         self.sim = sim
         self.config = config
-        self.rng = rng
+        self.rng_drop = rngs["drop"]
+        self.rng_delay = rngs["delay"]
+        self.rng_dup = rngs["dup"]
         self.stats = stats
         self.drops = 0
         self.dups = 0
@@ -69,17 +77,16 @@ class NetFaultPlane:
         lo, hi = cfg.net_window_us
         if not lo <= self.sim.now <= hi:
             return (0.0,)
-        rng = self.rng
-        if cfg.msg_drop_prob and float(rng.random()) < cfg.msg_drop_prob:
+        if cfg.msg_drop_prob and float(self.rng_drop.random()) < cfg.msg_drop_prob:
             self.drops += 1
             self.stats.dropped += 1
             return ()
         first = 0.0
-        if cfg.msg_delay_prob and float(rng.random()) < cfg.msg_delay_prob:
+        if cfg.msg_delay_prob and float(self.rng_delay.random()) < cfg.msg_delay_prob:
             self.delays += 1
             self.stats.delayed += 1
             first = cfg.msg_delay_us
-        if cfg.msg_dup_prob and float(rng.random()) < cfg.msg_dup_prob:
+        if cfg.msg_dup_prob and float(self.rng_dup.random()) < cfg.msg_dup_prob:
             self.dups += 1
             self.stats.duplicated += 1
             return (first, first + cfg.msg_delay_us)
@@ -92,6 +99,7 @@ class FaultInjector:
     def __init__(self, cluster, config: FaultConfig) -> None:
         if not config.enabled:
             raise ValueError("FaultInjector requires FaultConfig.enabled")
+        config.validate_targets(len(cluster.nodes))
         self.cluster = cluster
         self.config = config
         #: Every injected fault / resilience action, in injection order
@@ -102,14 +110,19 @@ class FaultInjector:
         self.monitor = TimesyncMonitor(cluster.switch)
         # Dedicated streams: consuming fault randomness must never shift
         # the draws of daemons, clocks, or apps (variance isolation).
-        self._net_rng = cluster.rngf.stream("faults.net")
+        # Network faults go further — one stream *per fault type* — so
+        # enabling drops cannot reshuffle dup/delay draws and vice versa.
         self._pipe_rng = cluster.rngf.stream("faults.pipe")
         self._clock_rng = cluster.rngf.stream("faults.clock")
 
         self.net_plane: Optional[NetFaultPlane] = None
         if config.any_net_faults:
+            net_rngs = {
+                kind: cluster.rngf.stream(f"faults.net.{kind}")
+                for kind in ("drop", "delay", "dup")
+            }
             self.net_plane = NetFaultPlane(
-                cluster.sim, config, self._net_rng, cluster.fabric.stats
+                cluster.sim, config, net_rngs, cluster.fabric.stats
             )
             cluster.fabric.fault_plane = self.net_plane
 

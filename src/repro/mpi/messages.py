@@ -74,6 +74,9 @@ class ReliableTransport:
         self.retransmits = 0
         self.duplicates_dropped = 0
         self.forced = 0
+        #: Messages abandoned at the attempt cap — only the planted
+        #: ``retransmit_giveup`` demo bug can make this non-zero.
+        self.gaveup = 0
 
     def snapshot_state(self, desc) -> dict:
         """Checkpoint view: counters, in-flight entries, delivered digest."""
@@ -132,6 +135,21 @@ class ReliableTransport:
         self.retransmits += 1
         entry[3] = attempt
         if attempt >= self.max_attempts:
+            # Imported here, not at module top: repro.faults pulls in the
+            # co-scheduler which pulls in repro.mpi.world (cycle), and
+            # this branch is cold — it runs once per attempt-capped
+            # message, never in a fault-free run.
+            from repro.faults.demo import demo_bug_enabled
+
+            if demo_bug_enabled("retransmit_giveup"):
+                # Planted bug (REPRO_CHAOS_BUG=retransmit_giveup): give up
+                # instead of taking the guaranteed path.  The message is
+                # silently lost forever; the entry stays in-flight with no
+                # timer, so seq accounting holds but the receiver starves —
+                # the deadlock the chaos liveness oracle must catch.
+                self.gaveup += 1
+                entry[5] = None
+                return
             # Last resort: the guaranteed link-level path.  No further timer
             # — this copy always lands (dedup still applies if an earlier
             # copy limps in first).

@@ -141,6 +141,34 @@ class TestFaultConfigValidation:
         with pytest.raises(ValueError):
             CoschedFaultSpec(node=0, at_us=0.0, kind="hang", duration_us=0.0)
 
+    @pytest.mark.parametrize(
+        "kw",
+        [
+            {"net_window_us": (-1.0, 5.0)},
+            {"timesync_loss_at_us": -1.0},
+        ],
+    )
+    def test_negative_times_raise(self, kw):
+        with pytest.raises(ValueError):
+            FaultConfig(**kw)
+
+    def test_unknown_node_targets_rejected(self):
+        fc = FaultConfig(
+            node_faults=(NodeFaultSpec(node=5, at_us=0.0, duration_us=1.0),),
+            cosched_faults=(CoschedFaultSpec(node=7, at_us=0.0, kind="die"),),
+        )
+        with pytest.raises(ValueError, match=r"unknown node\(s\) \[5, 7\]"):
+            fc.validate_targets(2)
+        fc.validate_targets(8)  # all targets in range: accepted
+
+    def test_system_rejects_fault_on_missing_node_at_construction(self):
+        faults = FaultConfig(
+            enabled=True,
+            node_faults=(NodeFaultSpec(node=9, at_us=0.0, duration_us=1.0),),
+        )
+        with pytest.raises(ValueError, match="unknown node"):
+            build_system(n_nodes=2, faults=faults)
+
     def test_injector_refuses_disabled_config(self):
         from repro.faults.injector import FaultInjector
 
@@ -159,7 +187,11 @@ class TestFaultConfigValidation:
 # ----------------------------------------------------------------------
 class TestNetFaultPlane:
     def _plane(self, cfg, rng):
-        return NetFaultPlane(Simulator(), cfg, rng, MessageStats())
+        # Unit tests drive one fault type at a time, so sharing a single
+        # scripted rng across the per-type slots keeps the draws explicit.
+        return NetFaultPlane(
+            Simulator(), cfg, {"drop": rng, "delay": rng, "dup": rng}, MessageStats()
+        )
 
     def test_clean_when_no_draw_hits(self):
         cfg = FaultConfig(enabled=True, msg_drop_prob=0.1)
@@ -193,6 +225,79 @@ class TestNetFaultPlane:
             enabled=True, msg_drop_prob=1.0, net_window_us=(ms(10), ms(20))
         )
         assert self._plane(cfg, FixedRng()).plan(0, 1, 64) == (0.0,)
+
+
+# ----------------------------------------------------------------------
+# Network fault plane: stream-ordering properties (hypothesis)
+# ----------------------------------------------------------------------
+class TestNetFaultPlaneStreamProperties:
+    """Pins the per-type stream contract in NetFaultPlane's docstring:
+    a config replays identically, and enabling one fault type never
+    reshuffles another type's draws."""
+
+    N_MSGS = 60
+
+    @staticmethod
+    def _decisions(seed, drop, delay, dup):
+        """Run N inter-node messages through a fresh plane; return the
+        per-message plan tuples (the complete observable behaviour)."""
+        from repro.rng import StreamFactory
+
+        cfg = FaultConfig(
+            enabled=True,
+            msg_drop_prob=drop,
+            msg_delay_prob=delay,
+            msg_dup_prob=dup,
+            msg_delay_us=500.0,
+        )
+        rngf = StreamFactory(seed)
+        plane = NetFaultPlane(
+            Simulator(),
+            cfg,
+            {k: rngf.stream(f"faults.net.{k}") for k in ("drop", "delay", "dup")},
+            MessageStats(),
+        )
+        return [
+            plane.plan(0, 1, 64) for _ in range(TestNetFaultPlaneStreamProperties.N_MSGS)
+        ]
+
+    def test_replay_is_deterministic(self):
+        from hypothesis import given, settings
+        from hypothesis import strategies as st
+
+        prob = st.floats(0.0, 1.0, allow_nan=False)
+
+        @settings(deadline=None, max_examples=40)
+        @given(seed=st.integers(0, 2**31 - 1), drop=prob, delay=prob, dup=prob)
+        def check(seed, drop, delay, dup):
+            a = self._decisions(seed, drop, delay, dup)
+            b = self._decisions(seed, drop, delay, dup)
+            assert a == b
+
+        check()
+
+    def test_fault_types_draw_from_independent_streams(self):
+        """Turning dup/delay on or off must not move which messages get
+        dropped, and turning dup on or off must not move which get
+        delayed — each type owns its stream."""
+        from hypothesis import given, settings
+        from hypothesis import strategies as st
+
+        prob = st.floats(0.01, 0.99, allow_nan=False)
+
+        @settings(deadline=None, max_examples=40)
+        @given(seed=st.integers(0, 2**31 - 1), drop=prob, delay=prob, dup=prob)
+        def check(seed, drop, delay, dup):
+            full = self._decisions(seed, drop, delay, dup)
+            drop_only = self._decisions(seed, drop, 0.0, 0.0)
+            no_dup = self._decisions(seed, drop, delay, 0.0)
+            dropped = [i for i, p in enumerate(full) if p == ()]
+            assert dropped == [i for i, p in enumerate(drop_only) if p == ()]
+            assert dropped == [i for i, p in enumerate(no_dup) if p == ()]
+            delayed = [i for i, p in enumerate(full) if p and p[0] > 0.0]
+            assert delayed == [i for i, p in enumerate(no_dup) if p and p[0] > 0.0]
+
+        check()
 
 
 # ----------------------------------------------------------------------

@@ -46,6 +46,11 @@ def _boom_trial(params):
     raise RuntimeError(f"boom-{params['x']}")
 
 
+def _sleepy_trial(params):
+    time.sleep(5.0)
+    return {}
+
+
 class TestRunnerSemantics:
     def test_outcomes_in_spec_order(self):
         specs = [
@@ -85,6 +90,41 @@ class TestRunnerSemantics:
         assert outs[0].cached and outs[0].record == {"twice": 999}
         assert not outs[1].cached and outs[1].record == {"twice": 4}
         assert journal.hits == 1
+
+    def test_failure_traceback_captured_into_outcome_and_journal(self, tmp_path):
+        journal = SweepJournal(tmp_path)
+        outs = TrialRunner(journal=journal).run(
+            [TrialSpec("bad", "tests.test_runner:_boom_trial", {"x": 7})]
+        )
+        tb = outs[0].traceback
+        assert tb is not None
+        # The trial function's own frame survives; the runner/watchdog
+        # machinery frames are stripped.
+        assert "_boom_trial" in tb and tb.rstrip().endswith("RuntimeError: boom-7")
+        assert "_run_one" not in tb and "trial_watchdog" not in tb
+        entry = journal.entries()["bad"]
+        assert entry["status"] == "failed" and entry["traceback"] == tb
+
+    def test_success_and_timeout_have_no_traceback(self):
+        ok = TrialRunner().run(
+            [TrialSpec("ok", "tests.test_runner:_double_trial", {"x": 1})]
+        )[0]
+        assert ok.traceback is None
+        slow = TrialRunner(trial_timeout_s=0.2).run(
+            [TrialSpec("slow", "tests.test_runner:_sleepy_trial", {})]
+        )[0]
+        assert not slow.ok and slow.traceback is None
+
+    @fork_only
+    def test_pool_traceback_identical_to_serial(self, tmp_path):
+        specs = [
+            TrialSpec(f"bad{i}", "tests.test_runner:_boom_trial", {"x": i})
+            for i in range(3)
+        ]
+        serial = TrialRunner().run(specs)
+        parallel = TrialRunner(jobs=3).run(specs)
+        assert [o.traceback for o in serial] == [o.traceback for o in parallel]
+        assert all(o.traceback for o in serial)
 
     def test_resolve_trial_fn_rejects_bad_refs(self):
         with pytest.raises(ValueError):
