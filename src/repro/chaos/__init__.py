@@ -7,6 +7,10 @@ by :mod:`~repro.chaos.shrink`'s ddmin → minimized counterexamples land in
 the regression corpus (``tests/chaos_corpus/``) via
 :mod:`~repro.chaos.campaign`, which also owns the campaign driver behind
 ``repro-experiments chaos``.
+
+:mod:`~repro.chaos.harness_faults` points the same seed-stream discipline
+at the execution substrate itself: deterministic worker-kill plans for
+the supervised trial backend (``--harness-chaos``).
 """
 
 from repro.chaos.campaign import (
@@ -27,6 +31,7 @@ from repro.chaos.oracles import (
     liveness_bound_us,
     run_schedule,
 )
+from repro.chaos.harness_faults import HarnessFault, injection_for, plan_for
 from repro.chaos.schedule import ENTRY_KINDS, ChaosSchedule, ChaosWorkload
 from repro.chaos.shrink import ShrinkResult, ddmin, shrink_schedule
 
@@ -37,6 +42,7 @@ __all__ = [
     "ChaosRunResult",
     "ChaosSchedule",
     "ChaosWorkload",
+    "HarnessFault",
     "OracleReport",
     "ShrinkResult",
     "chaos_workload",
@@ -44,9 +50,11 @@ __all__ = [
     "estimated_span_us",
     "format_chaos",
     "generate_schedule",
+    "injection_for",
     "judge",
     "liveness_bound_us",
     "load_corpus_entry",
+    "plan_for",
     "replay_corpus_entry",
     "run_chaos",
     "run_schedule",

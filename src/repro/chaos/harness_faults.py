@@ -1,0 +1,83 @@
+"""Deterministic *harness-level* fault plans: killing our own workers.
+
+The chaos engine in this package fuzzes the *simulated* cluster.  This
+module points the same seed-stream discipline at the execution substrate
+itself: given a harness-chaos seed, every trial key gets a pure-function
+fault plan — die this many times, in this mode, at this point — drawn
+from its own named :mod:`repro.rng` stream (``harness.kill.<key>``).
+Keying the stream by trial key (rather than by worker or by dispatch
+order) is what makes the plan independent of scheduling: ``--jobs 2``
+and ``--jobs 4`` kill exactly the same attempts of exactly the same
+trials, so the supervised runner's retry counts, backoff sequences, and
+final journals are comparable across worker counts — the property
+``tests/test_supervisor.py`` pins.
+
+Modes:
+
+* ``crash`` — the worker ``os._exit``\\ s mid-trial, as an OOM kill or
+  segfault would.  ``point`` refines it: ``pre`` dies before the trial
+  function runs; ``mid`` dies after computing the record but while
+  journaling it, leaving a deliberately *torn* shard entry behind — the
+  case the journal-merge hardening must survive.
+* ``hang`` — the worker goes silent (no heartbeats) without exiting,
+  the failure only a missed-heartbeat deadline can catch.
+
+``kills`` is capped at 2 draws so any plan is transient under the
+default ``max_retries=3``: a chaos campaign retries through every
+injected kill and converges to the same results as a clean serial run.
+Poison behaviour (quarantine) is exercised by planting genuinely
+poisonous trial functions, not by the plan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.rng import StreamFactory
+
+__all__ = ["ENV_VAR", "HarnessFault", "plan_for", "injection_for"]
+
+#: Environment fallback for the harness-chaos seed (the CLI flag wins).
+ENV_VAR = "REPRO_HARNESS_CHAOS"
+
+
+@dataclass(frozen=True)
+class HarnessFault:
+    """The fault plan for one trial key under one harness-chaos seed."""
+
+    #: ``None`` (left alone), ``"crash"``, or ``"hang"``.
+    mode: Optional[str]
+    #: Attempts ``0 .. kills-1`` are killed; attempt ``kills`` survives.
+    kills: int
+    #: For crashes: ``"pre"`` (before the trial runs) or ``"mid"``
+    #: (after computing, torn journal write).  Irrelevant for hangs.
+    point: str
+
+
+def plan_for(chaos_seed: int, key: str) -> HarnessFault:
+    """The fault plan for *key* — a pure function of ``(seed, key)``.
+
+    All three axes are drawn unconditionally and in a fixed order so the
+    plan never shifts when one draw's interpretation changes.
+    """
+    rng = StreamFactory(int(chaos_seed)).stream(f"harness.kill.{key}")
+    r_mode = float(rng.random())
+    point = "pre" if float(rng.random()) < 0.5 else "mid"
+    kills = 2 if float(rng.random()) < 0.25 else 1
+    if r_mode < 0.45:
+        return HarnessFault(None, 0, point)
+    if r_mode < 0.85:
+        return HarnessFault("crash", kills, point)
+    return HarnessFault("hang", kills, point)
+
+
+def injection_for(
+    chaos_seed: int, key: str, attempt: int
+) -> Optional[tuple[str, str]]:
+    """What attempt *attempt* of *key* should suffer: ``(mode, point)``
+    to inject, or ``None`` to run the trial honestly."""
+    plan = plan_for(chaos_seed, key)
+    if plan.mode is not None and attempt < plan.kills:
+        return plan.mode, plan.point
+    return None

@@ -22,6 +22,7 @@ sweep moves on instead of hanging the whole campaign.
 from __future__ import annotations
 
 import json
+import logging
 import os
 import re
 import signal
@@ -34,6 +35,8 @@ from typing import Optional
 __all__ = ["TrialFailure", "TrialTimeout", "SweepJournal", "trial_watchdog"]
 
 _UNSAFE = re.compile(r"[^A-Za-z0-9._-]+")
+
+_log = logging.getLogger("repro.harness")
 
 
 class TrialFailure(RuntimeError):
@@ -98,17 +101,45 @@ class SweepJournal:
     def merge_shards(self) -> int:
         """Fold per-worker shard entries into the canonical directory.
 
-        Idempotent and crash-safe: each shard file is ``os.replace``d into
-        place (trials are deterministic, so a same-key duplicate carries
-        identical bytes and last-writer-wins is harmless).  Returns the
-        number of entries moved.
+        Idempotent and crash-safe: each shard file is validated as JSON,
+        then ``os.replace``d into place (trials are deterministic, so a
+        same-key duplicate carries identical bytes and last-writer-wins
+        is harmless).  Returns the number of entries moved.
+
+        A truncated or corrupt shard entry — e.g. a worker killed
+        mid-write, or a non-atomic writer torn by the filesystem — is
+        deleted with a logged warning instead of either raising or, worse,
+        clobbering a good canonical entry of the same key; its trial is
+        simply recomputed on resume.  Leftover ``*.tmp`` spill from a
+        killed atomic write is swept out the same way.  Callers run this
+        quiesced (no live shard writers), so deleting stragglers is safe.
         """
         if not self.shards_dir.is_dir():
             return 0
         moved = 0
         for entry in sorted(self.shards_dir.glob("*/*.json")):
+            try:
+                with open(entry, "r", encoding="utf-8") as fh:
+                    json.load(fh)
+            except (OSError, json.JSONDecodeError) as exc:
+                _log.warning(
+                    "journal: dropping corrupt shard entry %s (%s); "
+                    "its trial will be recomputed",
+                    entry,
+                    exc,
+                )
+                try:
+                    entry.unlink()
+                except OSError:
+                    pass
+                continue
             os.replace(entry, self.dir / entry.name)
             moved += 1
+        for stale in sorted(self.shards_dir.glob("*/*.tmp")):
+            try:
+                stale.unlink()
+            except OSError:
+                pass
         for shard_dir in sorted(self.shards_dir.iterdir()):
             try:
                 shard_dir.rmdir()
@@ -145,7 +176,11 @@ class SweepJournal:
         _atomic_write_json(self._path(key), {"status": "ok", "record": record})
 
     def record_failure(
-        self, key: str, reason: str, traceback: Optional[str] = None
+        self,
+        key: str,
+        reason: str,
+        traceback: Optional[str] = None,
+        taxonomy: Optional[str] = None,
     ) -> None:
         """Journal a failed trial (kept for forensics, retried on resume).
 
@@ -153,10 +188,20 @@ class SweepJournal:
         one is available and deterministic (see
         :func:`repro.experiments.runner.format_trial_traceback`), so a
         chaos or sweep failure is diagnosable from the journal alone.
+        *taxonomy* classifies the failure mode — one of ``crash | hang |
+        exception | timeout | quarantined`` (see
+        :mod:`repro.experiments.supervisor`) — and must be computed
+        identically on the serial and worker paths to preserve the
+        byte-identical-journals contract.
         """
         _atomic_write_json(
             self._path(key),
-            {"status": "failed", "reason": reason, "traceback": traceback},
+            {
+                "status": "failed",
+                "reason": reason,
+                "taxonomy": taxonomy,
+                "traceback": traceback,
+            },
         )
 
     def entries(self) -> dict[str, dict]:

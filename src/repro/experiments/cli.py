@@ -27,11 +27,23 @@ the rest — bit-identically.  Without ``--resume`` the journal is cleared
 for fresh-run semantics.  ``--trial-timeout`` bounds each trial's
 wall-clock time; wedged trials are recorded as explicit holes and the
 campaign continues.
+
+Fault tolerance: ``--jobs N`` runs on the *supervised* backend
+(:mod:`repro.experiments.supervisor`) — heartbeating workers, crash/hang
+detection, ``--max-retries`` re-dispatches with ``--backoff``
+exponential delay, quarantine of poison trials, and graceful
+SIGINT/SIGTERM drain (in-flight trials finish, journal shards merge, no
+orphaned workers; exit code 130 with a resumable journal).
+``--harness-chaos SEED`` deliberately kills/hangs workers on a
+deterministic schedule to prove all of that: the run must still converge
+to results byte-identical to a clean serial run.  ``--backend pool``
+selects the legacy unsupervised pool for comparison.
 """
 
 from __future__ import annotations
 
 import argparse
+import logging
 import os
 import sys
 import time
@@ -121,6 +133,32 @@ def main(argv: list[str] | None = None) -> int:
         help="run independent trials across N worker processes "
              "(default: 1, serial); results are bit-identical either way",
     )
+    sup_group = parser.add_argument_group("supervised backend (--jobs N)")
+    sup_group.add_argument(
+        "--backend", choices=("supervised", "pool"), default="supervised",
+        help="parallel backend: 'supervised' (fault-tolerant worker pool "
+             "with heartbeats/retries/quarantine, the default) or 'pool' "
+             "(legacy raw ProcessPoolExecutor)",
+    )
+    sup_group.add_argument(
+        "--max-retries", type=int, metavar="N", default=3,
+        help="re-dispatches allowed per trial after a worker crash/hang "
+             "before the trial is quarantined (default: 3)",
+    )
+    sup_group.add_argument(
+        "--backoff", type=float, metavar="SECONDS", default=0.1,
+        help="base of the deterministic exponential backoff between "
+             "re-dispatches: BACKOFF * 2^attempt, capped at 5 s "
+             "(default: 0.1)",
+    )
+    _env_chaos = os.environ.get("REPRO_HARNESS_CHAOS", "").strip()
+    sup_group.add_argument(
+        "--harness-chaos", type=int, metavar="SEED",
+        default=int(_env_chaos) if _env_chaos else None,
+        help="inject deterministic worker kills/hangs drawn from SEED "
+             "(env: REPRO_HARNESS_CHAOS); the campaign must still "
+             "converge byte-identically to a clean serial run",
+    )
     chaos_group = parser.add_argument_group("chaos campaign (E10)")
     chaos_group.add_argument(
         "--seeds", type=int, metavar="N", default=32,
@@ -145,6 +183,17 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     if args.jobs < 1:
         parser.error("--jobs must be >= 1")
+    if args.max_retries < 0:
+        parser.error("--max-retries must be >= 0")
+    if args.backoff < 0:
+        parser.error("--backoff must be >= 0")
+    if args.harness_chaos is not None and (
+        args.jobs < 2 or args.backend != "supervised"
+    ):
+        parser.error(
+            "--harness-chaos needs --jobs >= 2 on the supervised backend "
+            "(only it can retry killed workers)"
+        )
 
     journal = None
     if args.results:
@@ -193,6 +242,44 @@ def main(argv: list[str] | None = None) -> int:
         "trial_timeout_s": args.trial_timeout,
         "jobs": args.jobs,
     }
+
+    # Route supervisor policy (backend, retry budget, backoff, harness
+    # chaos) to every campaign's internally-built TrialRunner, and make
+    # journal-merge warnings / supervisor summaries visible on stderr.
+    from repro.experiments.runner import set_execution_defaults
+    from repro.experiments.supervisor import SupervisorConfig
+
+    logging.basicConfig(
+        level=logging.INFO, format="[%(name)s] %(message)s", stream=sys.stderr
+    )
+    previous_defaults = set_execution_defaults(
+        backend=args.backend,
+        supervisor=SupervisorConfig(
+            max_retries=args.max_retries,
+            backoff_base_s=args.backoff,
+            chaos_seed=args.harness_chaos,
+        ),
+    )
+    try:
+        return _run_selected(wanted, args, qa, harness, csv_out, save_json)
+    except KeyboardInterrupt:
+        print(
+            "\ninterrupted: workers drained and terminated, journal flushed"
+            + (
+                f" — resume with --results {args.results} --resume"
+                if args.results
+                else " (pass --results DIR next time for a resumable journal)"
+            )
+        )
+        return 130
+    finally:
+        set_execution_defaults(
+            backend=previous_defaults[0], supervisor=previous_defaults[1]
+        )
+
+
+def _run_selected(wanted, args, qa, harness, csv_out, save_json) -> int:
+    """Run the selected experiments in order (the body of :func:`main`)."""
     for name in wanted:
         t0 = time.time()
         print(f"=== {name} " + "=" * (60 - len(name)))

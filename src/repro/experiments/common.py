@@ -118,6 +118,13 @@ class SweepResult:
     #: keys.  A count whose every seed failed carries NaN in the arrays —
     #: the sweep reports an explicit hole rather than dying mid-campaign.
     failed_points: list = field(default_factory=list)
+    #: Final-failure counts by taxonomy (``crash | hang | exception |
+    #: timeout | quarantined``), sorted by taxonomy name.  Only *final*
+    #: failures count — transient crash/hang retries the supervised
+    #: backend recovered from stay out of saved results on purpose, so a
+    #: chaos campaign that converges remains byte-identical to a clean
+    #: serial run (retry telemetry lives in ``TrialRunner.stats``).
+    failure_taxonomy: dict = field(default_factory=dict)
 
     def rows(self) -> list[tuple[int, float, float, float]]:
         """Table rows: (procs, mean, run-σ, call-σ)."""
@@ -215,6 +222,7 @@ def allreduce_sweep(
     run_stds = np.empty(len(proc_counts))
     call_stds = np.empty(len(proc_counts))
     failed: list[str] = []
+    taxonomy: dict[str, int] = {}
     for i, n in enumerate(proc_counts):
         per_seed = []
         per_std = []
@@ -225,6 +233,8 @@ def allreduce_sweep(
                 per_std.append(outcome.record["std_us"])
             else:
                 failed.append(outcome.key)
+                kind = outcome.taxonomy or "exception"
+                taxonomy[kind] = taxonomy.get(kind, 0) + 1
         # A count whose every seed failed stays in the sweep as an
         # explicit NaN hole — downstream fits mask it, plots show a gap.
         means[i] = float(np.mean(per_seed)) if per_seed else float("nan")
@@ -239,4 +249,5 @@ def allreduce_sweep(
         n_seeds,
         n_calls,
         failed_points=failed,
+        failure_taxonomy=dict(sorted(taxonomy.items())),
     )

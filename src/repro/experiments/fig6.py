@@ -26,7 +26,7 @@ from repro.experiments.common import (
     VANILLA16,
     allreduce_sweep,
 )
-from repro.experiments.reporting import ascii_chart, text_table
+from repro.experiments.reporting import ascii_chart, format_taxonomy, text_table
 
 __all__ = [
     "Fig6Result",
@@ -118,8 +118,15 @@ def format_sweep(res: SweepResult, title: str) -> str:
         res.rows(),
         title=title,
     )
+    failed = ""
+    if res.failed_points:
+        failed = (
+            f"failed points: {len(res.failed_points)} "
+            f"({format_taxonomy(res.failure_taxonomy)})\n"
+        )
     return (
         table
+        + failed
         + f"linear fit : {lin}\n"
         + f"log fit    : {log}\n"
         + f"better fit : {winner} (paper: linear once noise dominates)\n"

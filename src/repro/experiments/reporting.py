@@ -11,7 +11,15 @@ from __future__ import annotations
 import io
 from typing import Iterable, Mapping, Sequence
 
-__all__ = ["text_table", "write_csv", "ascii_chart"]
+__all__ = ["text_table", "write_csv", "ascii_chart", "format_taxonomy"]
+
+
+def format_taxonomy(counts: Mapping[str, int]) -> str:
+    """Render failure-taxonomy counts (``crash=1, hang=2``) for campaign
+    summaries; empty counts render as ``"none"``."""
+    if not counts:
+        return "none"
+    return ", ".join(f"{kind}={n}" for kind, n in sorted(counts.items()))
 
 
 def text_table(

@@ -29,6 +29,20 @@ Worker processes prefer the ``fork`` start method where the platform
 offers it (cheap, and test-time monkeypatching propagates); elsewhere the
 default context is used, which is why trial functions must be importable
 top-level names and params must pickle.
+
+**Backends.**  ``jobs > 1`` selects a parallel backend:
+
+* ``"supervised"`` (the default) — the fault-tolerant worker pool in
+  :mod:`repro.experiments.supervisor`: long-lived heartbeating workers,
+  crash/hang detection, bounded retry with deterministic backoff,
+  quarantine of poison specs, and graceful SIGINT/SIGTERM drain.
+* ``"pool"`` — the legacy raw ``ProcessPoolExecutor`` path, kept as a
+  comparison baseline; a dead worker breaks the whole pool.
+
+Both backends honour the determinism contract above.  The CLI selects a
+backend and supervisor policy once per process via
+:func:`set_execution_defaults`; campaigns that build their own
+``TrialRunner`` inherit it.
 """
 
 from __future__ import annotations
@@ -56,7 +70,36 @@ __all__ = [
     "TrialRunner",
     "resolve_trial_fn",
     "format_trial_traceback",
+    "set_execution_defaults",
+    "BACKENDS",
 ]
+
+#: Parallel backends selectable for ``jobs > 1``.
+BACKENDS = ("supervised", "pool")
+
+#: Process-wide execution policy, set once by the CLI (or tests) via
+#: :func:`set_execution_defaults`; ``TrialRunner`` instances that are
+#: not given an explicit ``backend``/``supervisor`` inherit these.
+_DEFAULT_BACKEND = "supervised"
+_DEFAULT_SUPERVISOR = None
+
+
+def set_execution_defaults(backend=None, supervisor=None) -> tuple:
+    """Set the process-wide default backend and supervisor policy.
+
+    Returns the previous ``(backend, supervisor)`` pair so callers (the
+    CLI, tests) can restore it.  Campaigns construct their own runners
+    deep inside ``run_fig*``-style entry points; this is how one
+    ``--backend``/``--harness-chaos`` choice reaches all of them.
+    """
+    global _DEFAULT_BACKEND, _DEFAULT_SUPERVISOR
+    previous = (_DEFAULT_BACKEND, _DEFAULT_SUPERVISOR)
+    if backend is not None:
+        if backend not in BACKENDS:
+            raise ValueError(f"unknown backend {backend!r}; pick from {BACKENDS}")
+        _DEFAULT_BACKEND = backend
+    _DEFAULT_SUPERVISOR = supervisor
+    return previous
 
 
 @dataclass(frozen=True)
@@ -127,6 +170,13 @@ class TrialOutcome:
     traceback: Optional[str] = None
     #: Served from the journal instead of recomputed (resume telemetry).
     cached: bool = False
+    #: Failure classification when the trial failed — one of
+    #: ``crash | hang | exception | timeout | quarantined`` (see
+    #: :mod:`repro.experiments.supervisor`); ``None`` on success.
+    taxonomy: Optional[str] = None
+    #: Crash/hang re-dispatches this trial survived under the supervised
+    #: backend (telemetry only; never part of saved results).
+    retries: int = 0
 
     @property
     def ok(self) -> bool:
@@ -160,19 +210,23 @@ def _execute_trial(
     except Exception as exc:
         reason = f"{type(exc).__name__}: {exc}"
         tb = format_trial_traceback(exc)
+        taxonomy = "timeout" if isinstance(exc, TrialTimeout) else "exception"
         if journal is not None:
-            journal.record_failure(spec.key, reason, traceback=tb)
-        return spec.key, None, reason, tb
+            journal.record_failure(spec.key, reason, traceback=tb, taxonomy=taxonomy)
+        return spec.key, None, reason, tb, taxonomy
     if journal is not None:
         journal.record(spec.key, record)
-    return spec.key, record, None, None
+    return spec.key, record, None, None, None
 
 
 class TrialRunner:
     """Executes :class:`TrialSpec` lists under one policy.
 
     ``jobs=1`` (the default) runs trials in-process, in order.  ``jobs>1``
-    fans pending trials out over a process pool.  Either way:
+    fans pending trials out over worker processes — supervised by default
+    (crash/hang recovery, retries, quarantine; see
+    :mod:`repro.experiments.supervisor`), or the legacy raw pool with
+    ``backend="pool"``.  Either way:
 
     * trials already journaled (``status: "ok"``) are served from the
       journal without executing — crash/resume semantics;
@@ -183,6 +237,10 @@ class TrialRunner:
       ``status: "failed"`` journal entry) instead of aborting the campaign;
     * :meth:`run` returns outcomes in spec order, so assembly code is
       oblivious to completion order — the deterministic merge.
+
+    After a supervised run, :attr:`stats` holds the
+    :class:`~repro.experiments.supervisor.SupervisorStats` (retry counts,
+    backoff sequences, worker-fault totals) for that batch.
     """
 
     def __init__(
@@ -190,10 +248,26 @@ class TrialRunner:
         jobs: int = 1,
         journal: Optional[SweepJournal] = None,
         trial_timeout_s: Optional[float] = None,
+        backend: Optional[str] = None,
+        supervisor=None,
     ) -> None:
+        if backend is not None and backend not in BACKENDS:
+            raise ValueError(f"unknown backend {backend!r}; pick from {BACKENDS}")
         self.jobs = max(1, int(jobs))
         self.journal = journal
         self.trial_timeout_s = trial_timeout_s
+        self.backend = backend or _DEFAULT_BACKEND
+        #: Explicit :class:`~repro.experiments.supervisor.SupervisorConfig`
+        #: override; ``None`` inherits the process default (or env).
+        self.supervisor = supervisor
+        #: SupervisorStats of the last supervised batch, else ``None``.
+        self.stats = None
+
+    def _supervisor_config(self):
+        from repro.experiments.supervisor import SupervisorConfig
+
+        cfg = self.supervisor if self.supervisor is not None else _DEFAULT_SUPERVISOR
+        return cfg if cfg is not None else SupervisorConfig.from_env()
 
     def run(self, specs: Sequence[TrialSpec]) -> list[TrialOutcome]:
         """Execute *specs*; return their outcomes in the given order."""
@@ -213,11 +287,16 @@ class TrialRunner:
             else:
                 pending.append(spec)
 
+        supervised = self.jobs > 1 and self.backend == "supervised"
+        chaos_active = supervised and self._supervisor_config().chaos_seed is not None
         # A single pending trial gains nothing from a pool; run it inline
-        # (same code path, same journal bytes).
-        if self.jobs == 1 or len(pending) <= 1:
+        # (same code path, same journal bytes) — unless harness chaos is
+        # armed, where only the supervised path can retry injected kills.
+        if self.jobs == 1 or (len(pending) <= 1 and not chaos_active):
             for spec in pending:
                 outcomes[spec.key] = self._run_one(spec)
+        elif supervised:
+            self._run_supervised(pending, outcomes)
         else:
             self._run_pool(pending, outcomes)
         return [outcomes[spec.key] for spec in specs]
@@ -230,12 +309,33 @@ class TrialRunner:
         except Exception as exc:  # KeyboardInterrupt still aborts.
             reason = f"{type(exc).__name__}: {exc}"
             tb = format_trial_traceback(exc)
+            taxonomy = "timeout" if isinstance(exc, TrialTimeout) else "exception"
             if self.journal is not None:
-                self.journal.record_failure(spec.key, reason, traceback=tb)
-            return TrialOutcome(spec.key, None, error=reason, traceback=tb)
+                self.journal.record_failure(
+                    spec.key, reason, traceback=tb, taxonomy=taxonomy
+                )
+            return TrialOutcome(
+                spec.key, None, error=reason, traceback=tb, taxonomy=taxonomy
+            )
         if self.journal is not None:
             self.journal.record(spec.key, record)
         return TrialOutcome(spec.key, record)
+
+    def _run_supervised(
+        self, pending: list[TrialSpec], outcomes: dict[str, TrialOutcome]
+    ) -> None:
+        from repro.experiments.supervisor import Supervisor
+
+        sup = Supervisor(
+            jobs=self.jobs,
+            journal=self.journal,
+            trial_timeout_s=self.trial_timeout_s,
+            config=self._supervisor_config(),
+        )
+        try:
+            outcomes.update(sup.run(pending))
+        finally:
+            self.stats = sup.stats
 
     def _run_pool(
         self, pending: list[TrialSpec], outcomes: dict[str, TrialOutcome]
@@ -253,15 +353,19 @@ class TrialRunner:
             ]
             for spec, future in futures:
                 try:
-                    key, record, error, tb = future.result()
+                    key, record, error, tb, taxonomy = future.result()
                 except Exception as exc:
                     # The worker process itself died (BrokenProcessPool);
-                    # the trial never journaled, so record it here.
-                    key, record, error, tb = (
-                        spec.key, None, f"{type(exc).__name__}: {exc}", None,
+                    # the trial never journaled, so record it here.  The
+                    # raw pool cannot retry — that is the supervised
+                    # backend's job.
+                    key, record, error, tb, taxonomy = (
+                        spec.key, None, f"{type(exc).__name__}: {exc}", None, "crash",
                     )
                     if self.journal is not None:
-                        self.journal.record_failure(key, error)
-                outcomes[key] = TrialOutcome(key, record, error=error, traceback=tb)
+                        self.journal.record_failure(key, error, taxonomy=taxonomy)
+                outcomes[key] = TrialOutcome(
+                    key, record, error=error, traceback=tb, taxonomy=taxonomy
+                )
         if self.journal is not None:
             self.journal.merge_shards()
