@@ -27,16 +27,38 @@ default ``max_retries=3``: a chaos campaign retries through every
 injected kill and converges to the same results as a clean serial run.
 Poison behaviour (quarantine) is exercised by planting genuinely
 poisonous trial functions, not by the plan.
+
+**Store faults.**  The same seed-stream discipline also attacks the
+content-addressed result store (:mod:`repro.store`): every stored
+fingerprint gets its own plan from stream ``harness.store.<fingerprint>``
+— torn record (truncated write), bit flip (silent media corruption),
+duplicate identical writer (benign by the canonical-bytes contract), or
+left alone — plus one injected crash-mid-GC (a mark journal with no
+completed sweep).  ``store fsck`` must detect every one of the damaging
+injections, ``fsck --repair`` must return the store to clean, and the
+``dup`` axis must produce *zero* findings; that is the store-chaos
+acceptance loop the CI smoke job drives.
 """
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 from typing import Optional
 
 from repro.rng import StreamFactory
 
-__all__ = ["ENV_VAR", "HarnessFault", "plan_for", "injection_for"]
+__all__ = [
+    "ENV_VAR",
+    "HarnessFault",
+    "plan_for",
+    "injection_for",
+    "StoreFault",
+    "STORE_FAULT_MODES",
+    "store_plan_for",
+    "inject_store_fault",
+    "inject_interrupted_gc",
+]
 
 #: Environment fallback for the harness-chaos seed (the CLI flag wins).
 ENV_VAR = "REPRO_HARNESS_CHAOS"
@@ -81,3 +103,81 @@ def injection_for(
     if plan.mode is not None and attempt < plan.kills:
         return plan.mode, plan.point
     return None
+
+
+# ---------------------------------------------------------------------------
+# Store faults: attacking the content-addressed result store's bytes.
+
+#: Damage modes a store record can be dealt.  ``torn`` and ``bitflip``
+#: must be *detected* (fsck finding, quarantined on read); ``dup`` must
+#: be *survived silently* (identical bytes are the benign case).
+STORE_FAULT_MODES = ("torn", "bitflip", "dup")
+
+
+@dataclass(frozen=True)
+class StoreFault:
+    """The fault plan for one stored fingerprint under one chaos seed."""
+
+    #: ``None`` (left alone) or one of :data:`STORE_FAULT_MODES`.
+    mode: Optional[str]
+
+
+def store_plan_for(chaos_seed: int, fingerprint: str) -> StoreFault:
+    """The store-fault plan for *fingerprint* — a pure function of
+    ``(seed, fingerprint)``, so re-running a chaos campaign against the
+    same store damages exactly the same records."""
+    rng = StreamFactory(int(chaos_seed)).stream(f"harness.store.{fingerprint}")
+    r = float(rng.random())
+    if r < 0.40:
+        return StoreFault(None)
+    if r < 0.65:
+        return StoreFault("torn")
+    if r < 0.90:
+        return StoreFault("bitflip")
+    return StoreFault("dup")
+
+
+def inject_store_fault(store, fingerprint: str, mode: str) -> bool:
+    """Deal *mode* damage to the record at *fingerprint* in-place.
+
+    Writes are deliberately *non*-atomic — the whole point is simulating
+    the failure modes the store's own write discipline rules out (torn
+    half-writes, flipped bits under the checksum).  Returns ``False`` if
+    no record exists at that fingerprint.
+    """
+    if mode not in STORE_FAULT_MODES:
+        raise ValueError(f"unknown store fault mode {mode!r}; pick from {STORE_FAULT_MODES}")
+    path = store.object_path(fingerprint)
+    if not path.is_file():
+        return False
+    data = path.read_bytes()
+    if mode == "torn":
+        path.write_bytes(data[: len(data) // 2])
+    elif mode == "bitflip":
+        i = len(data) // 2
+        path.write_bytes(data[:i] + bytes([data[i] ^ 0x01]) + data[i + 1 :])
+    else:  # dup: an identical concurrent writer landed the same bytes again
+        path.write_bytes(data)
+    return True
+
+
+def inject_interrupted_gc(store, chaos_seed: int) -> str:
+    """Simulate a crash mid-GC: mark written, sweep never run.
+
+    Plants one deterministic bait record and a ``gc/mark.json`` whose
+    dead list names *only* that bait, then "crashes" before sweeping.
+    fsck must flag ``interrupted-gc``; ``--repair`` (or the next
+    :meth:`~repro.store.ResultStore.gc`) completes the sweep, removing
+    the bait and leaving every real record untouched — so a warm rerun
+    after repair still serves every trial from the store.  Returns the
+    bait fingerprint.
+    """
+    from repro.store.records import encode_record
+    from repro.store.store import _atomic_write_bytes
+
+    bait_key = f"chaos-gc-bait-s{int(chaos_seed)}"
+    bait_fp = hashlib.sha256(bait_key.encode("utf-8")).hexdigest()
+    store.put(bait_fp, bait_key, {"chaos": "gc-bait", "seed": int(chaos_seed)})
+    mark = encode_record({"kind": "gc-mark", "dead": [bait_fp]})
+    _atomic_write_bytes(store.gc_mark_path, mark)
+    return bait_fp

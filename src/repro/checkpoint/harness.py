@@ -32,11 +32,41 @@ from contextlib import contextmanager
 from pathlib import Path
 from typing import Optional
 
-__all__ = ["TrialFailure", "TrialTimeout", "SweepJournal", "trial_watchdog"]
+__all__ = [
+    "TrialFailure",
+    "TrialTimeout",
+    "SweepJournal",
+    "trial_watchdog",
+    "sanitize_key",
+    "valid_journal_entry",
+]
 
 _UNSAFE = re.compile(r"[^A-Za-z0-9._-]+")
 
 _log = logging.getLogger("repro.harness")
+
+
+def sanitize_key(key: str) -> str:
+    """Filesystem-safe form of a trial key (shared with the result store,
+    whose key index uses the same names so journals and store line up)."""
+    return _UNSAFE.sub("_", key)
+
+
+def valid_journal_entry(obj) -> bool:
+    """Is *obj* a structurally valid journal entry?
+
+    An entry is a dict whose ``status`` is ``"ok"`` (with a ``record``)
+    or ``"failed"``.  Anything else — valid JSON of the wrong shape, a
+    bare list, a half-migrated file — is treated exactly like a torn
+    write: dropped by :meth:`SweepJournal.merge_shards`, ignored by
+    :meth:`SweepJournal.lookup`, recomputed on resume.
+    """
+    if not isinstance(obj, dict):
+        return False
+    status = obj.get("status")
+    if status == "ok":
+        return "record" in obj
+    return status == "failed"
 
 
 class TrialFailure(RuntimeError):
@@ -88,7 +118,7 @@ class SweepJournal:
         self.dir = self.root / "journal"
         self.shards_dir = self.dir / "shards"
         if shard is not None:
-            self._write_dir = self.shards_dir / _UNSAFE.sub("_", shard)
+            self._write_dir = self.shards_dir / sanitize_key(shard)
         else:
             self._write_dir = self.dir
         self._write_dir.mkdir(parents=True, exist_ok=True)
@@ -96,7 +126,7 @@ class SweepJournal:
         self.hits = 0
 
     def _path(self, key: str) -> Path:
-        return self._write_dir / f"{_UNSAFE.sub('_', key)}.json"
+        return self._write_dir / f"{sanitize_key(key)}.json"
 
     def merge_shards(self) -> int:
         """Fold per-worker shard entries into the canonical directory.
@@ -109,38 +139,53 @@ class SweepJournal:
         A truncated or corrupt shard entry — e.g. a worker killed
         mid-write, or a non-atomic writer torn by the filesystem — is
         deleted with a logged warning instead of either raising or, worse,
-        clobbering a good canonical entry of the same key; its trial is
-        simply recomputed on resume.  Leftover ``*.tmp`` spill from a
-        killed atomic write is swept out the same way.  Callers run this
+        clobbering a good canonical entry of the same key; so is an entry
+        that parses as JSON but has the wrong shape (see
+        :func:`valid_journal_entry`).  Either way its trial is simply
+        recomputed on resume, and the total dropped count is logged once
+        so a merge that shed entries is visible in one line.  Leftover
+        ``*.tmp`` spill from a killed atomic write — and any other stray
+        file a dying worker left in a shard — is swept out too, and the
+        emptied ``shards/w<pid>/`` directories are removed so resumed
+        campaigns never accumulate stale shard dirs.  Callers run this
         quiesced (no live shard writers), so deleting stragglers is safe.
         """
         if not self.shards_dir.is_dir():
             return 0
         moved = 0
+        dropped = 0
         for entry in sorted(self.shards_dir.glob("*/*.json")):
+            problem = None
             try:
                 with open(entry, "r", encoding="utf-8") as fh:
-                    json.load(fh)
+                    obj = json.load(fh)
             except (OSError, json.JSONDecodeError) as exc:
+                problem = str(exc)
+            else:
+                if not valid_journal_entry(obj):
+                    problem = "valid JSON but wrong entry shape"
+            if problem is not None:
                 _log.warning(
                     "journal: dropping corrupt shard entry %s (%s); "
                     "its trial will be recomputed",
                     entry,
-                    exc,
+                    problem,
                 )
                 try:
                     entry.unlink()
                 except OSError:
                     pass
+                dropped += 1
                 continue
             os.replace(entry, self.dir / entry.name)
             moved += 1
-        for stale in sorted(self.shards_dir.glob("*/*.tmp")):
-            try:
-                stale.unlink()
-            except OSError:
-                pass
         for shard_dir in sorted(self.shards_dir.iterdir()):
+            if shard_dir.is_dir():
+                for stale in sorted(shard_dir.iterdir()):
+                    try:
+                        stale.unlink()
+                    except OSError:
+                        pass
             try:
                 shard_dir.rmdir()
             except OSError:
@@ -149,6 +194,13 @@ class SweepJournal:
             self.shards_dir.rmdir()
         except OSError:
             pass
+        if dropped:
+            _log.warning(
+                "journal: dropped %d torn/corrupt shard entr%s during merge "
+                "(their trials will be recomputed)",
+                dropped,
+                "y" if dropped == 1 else "ies",
+            )
         return moved
 
     def lookup(self, key: str) -> Optional[dict]:
@@ -158,7 +210,7 @@ class SweepJournal:
         resume, not skipped (see the module docstring).
         """
         self.merge_shards()
-        path = self.dir / f"{_UNSAFE.sub('_', key)}.json"
+        path = self.dir / f"{sanitize_key(key)}.json"
         if not path.is_file():
             return None
         try:
@@ -166,7 +218,7 @@ class SweepJournal:
                 entry = json.load(fh)
         except (OSError, json.JSONDecodeError):
             return None  # torn/corrupt entry: recompute the trial
-        if entry.get("status") != "ok":
+        if not valid_journal_entry(entry) or entry["status"] != "ok":
             return None
         self.hits += 1
         return entry["record"]

@@ -98,6 +98,13 @@ def _quick_kwargs(quick: bool) -> dict:
 
 def main(argv: list[str] | None = None) -> int:
     """Parse arguments, run the requested experiments, print reports."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "store":
+        # Store operations (fsck/gc/stats/chaos) live in their own CLI;
+        # delegate so one entry point both fills and maintains the store.
+        from repro.store.cli import main as store_main
+
+        return store_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
         description="Regenerate the paper's figures and text results (see DESIGN.md).",
@@ -132,6 +139,23 @@ def main(argv: list[str] | None = None) -> int:
         "--jobs", type=int, metavar="N", default=1,
         help="run independent trials across N worker processes "
              "(default: 1, serial); results are bit-identical either way",
+    )
+    store_group = parser.add_argument_group("result store (cross-run memoization)")
+    store_group.add_argument(
+        "--store", metavar="DIR", default=None,
+        help="content-addressed result store: trials whose (spec, code "
+             "version) fingerprint is already stored are served from it "
+             "without executing, and every executed result is written "
+             "back (checksummed, atomic); a fully warm rerun executes "
+             "zero trials and is byte-identical. "
+             "See also the 'store fsck|gc|stats|chaos' subcommands.",
+    )
+    store_group.add_argument(
+        "--no-cache", action="store_true",
+        help="with --store: recompute every trial instead of reading the "
+             "store, but still write results back — re-putting a result "
+             "that disagrees with a stored one fails loudly "
+             "(cross-run determinism check)",
     )
     sup_group = parser.add_argument_group("supervised backend (--jobs N)")
     sup_group.add_argument(
@@ -183,6 +207,8 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     if args.jobs < 1:
         parser.error("--jobs must be >= 1")
+    if args.no_cache and not args.store:
+        parser.error("--no-cache requires --store DIR (there is no cache to skip)")
     if args.max_retries < 0:
         parser.error("--max-retries must be >= 0")
     if args.backoff < 0:
@@ -252,6 +278,12 @@ def main(argv: list[str] | None = None) -> int:
     logging.basicConfig(
         level=logging.INFO, format="[%(name)s] %(message)s", stream=sys.stderr
     )
+    store = None
+    if args.store:
+        from repro.store import ResultStore
+
+        store = ResultStore(args.store)
+
     previous_defaults = set_execution_defaults(
         backend=args.backend,
         supervisor=SupervisorConfig(
@@ -259,9 +291,16 @@ def main(argv: list[str] | None = None) -> int:
             backoff_base_s=args.backoff,
             chaos_seed=args.harness_chaos,
         ),
+        store=store,
+        use_cache=not args.no_cache,
     )
     try:
-        return _run_selected(wanted, args, qa, harness, csv_out, save_json)
+        rc = _run_selected(wanted, args, qa, harness, csv_out, save_json)
+        if store is not None:
+            print(
+                f"[store: hits={store.hits} misses={store.misses} puts={store.puts}]"
+            )
+        return rc
     except KeyboardInterrupt:
         print(
             "\ninterrupted: workers drained and terminated, journal flushed"
@@ -274,7 +313,10 @@ def main(argv: list[str] | None = None) -> int:
         return 130
     finally:
         set_execution_defaults(
-            backend=previous_defaults[0], supervisor=previous_defaults[1]
+            backend=previous_defaults[0],
+            supervisor=previous_defaults[1],
+            store=previous_defaults[2],
+            use_cache=previous_defaults[3],
         )
 
 

@@ -195,6 +195,7 @@ def allreduce_sweep(
     trial_timeout_s: Optional[float] = None,
     jobs: int = 1,
     runner: Optional[TrialRunner] = None,
+    store=None,
 ) -> SweepResult:
     """Model an aggregate_trace-style series at each processor count.
 
@@ -210,9 +211,17 @@ def allreduce_sweep(
     explicit NaN hole when a count loses all its seeds — instead of killing
     the campaign.  Because trials are pure functions of their specs and
     outcomes merge in spec order, ``jobs=N`` is bit-identical to serial.
+
+    *store* (a :class:`repro.store.ResultStore`) memoizes trials *across*
+    campaigns and runs: specs found there are served without executing
+    (``cached`` outcomes, materialised into the journal), and every
+    executed result is written back, checksummed and atomic.  ``None``
+    inherits the process default set by the CLI's ``--store``.
     """
     if runner is None:
-        runner = TrialRunner(jobs=jobs, journal=journal, trial_timeout_s=trial_timeout_s)
+        runner = TrialRunner(
+            jobs=jobs, journal=journal, trial_timeout_s=trial_timeout_s, store=store
+        )
     specs = allreduce_trial_specs(
         scenario, proc_counts, n_calls, n_seeds, compute_between_us, base_seed
     )

@@ -79,26 +79,39 @@ BACKENDS = ("supervised", "pool")
 
 #: Process-wide execution policy, set once by the CLI (or tests) via
 #: :func:`set_execution_defaults`; ``TrialRunner`` instances that are
-#: not given an explicit ``backend``/``supervisor`` inherit these.
+#: not given an explicit ``backend``/``supervisor``/``store`` inherit
+#: these.
 _DEFAULT_BACKEND = "supervised"
 _DEFAULT_SUPERVISOR = None
+_DEFAULT_STORE = None
+_DEFAULT_USE_CACHE = True
 
 
-def set_execution_defaults(backend=None, supervisor=None) -> tuple:
-    """Set the process-wide default backend and supervisor policy.
+def set_execution_defaults(
+    backend=None, supervisor=None, store=None, use_cache=None
+) -> tuple:
+    """Set the process-wide default backend, supervisor policy, and
+    result store.
 
-    Returns the previous ``(backend, supervisor)`` pair so callers (the
-    CLI, tests) can restore it.  Campaigns construct their own runners
-    deep inside ``run_fig*``-style entry points; this is how one
-    ``--backend``/``--harness-chaos`` choice reaches all of them.
+    Returns the previous ``(backend, supervisor, store, use_cache)``
+    tuple so callers (the CLI, tests) can restore it.  Campaigns
+    construct their own runners deep inside ``run_fig*``-style entry
+    points; this is how one ``--backend``/``--harness-chaos``/``--store``
+    choice reaches all of them.  ``supervisor`` and ``store`` are set
+    unconditionally (``None`` clears them); ``use_cache=False`` makes
+    runners ignore the store for *reads* while still writing results
+    into it (the ``--no-cache`` refresh semantics).
     """
-    global _DEFAULT_BACKEND, _DEFAULT_SUPERVISOR
-    previous = (_DEFAULT_BACKEND, _DEFAULT_SUPERVISOR)
+    global _DEFAULT_BACKEND, _DEFAULT_SUPERVISOR, _DEFAULT_STORE, _DEFAULT_USE_CACHE
+    previous = (_DEFAULT_BACKEND, _DEFAULT_SUPERVISOR, _DEFAULT_STORE, _DEFAULT_USE_CACHE)
     if backend is not None:
         if backend not in BACKENDS:
             raise ValueError(f"unknown backend {backend!r}; pick from {BACKENDS}")
         _DEFAULT_BACKEND = backend
     _DEFAULT_SUPERVISOR = supervisor
+    _DEFAULT_STORE = store
+    if use_cache is not None:
+        _DEFAULT_USE_CACHE = bool(use_cache)
     return previous
 
 
@@ -250,6 +263,8 @@ class TrialRunner:
         trial_timeout_s: Optional[float] = None,
         backend: Optional[str] = None,
         supervisor=None,
+        store=None,
+        use_cache: Optional[bool] = None,
     ) -> None:
         if backend is not None and backend not in BACKENDS:
             raise ValueError(f"unknown backend {backend!r}; pick from {BACKENDS}")
@@ -260,6 +275,16 @@ class TrialRunner:
         #: Explicit :class:`~repro.experiments.supervisor.SupervisorConfig`
         #: override; ``None`` inherits the process default (or env).
         self.supervisor = supervisor
+        #: Cross-run memo store (:class:`repro.store.ResultStore`) or
+        #: ``None``; inherits the process default set by the CLI's
+        #: ``--store``.  Probed after the journal, before dispatch; every
+        #: executed result is written back, and a journal hit backfills
+        #: the store so old campaigns migrate in passing.
+        self.store = store if store is not None else _DEFAULT_STORE
+        #: When ``False`` the store is write-only for this runner
+        #: (``--no-cache``): results are recomputed and re-put — which
+        #: makes the put path a determinism check against prior runs.
+        self.use_cache = _DEFAULT_USE_CACHE if use_cache is None else bool(use_cache)
         #: SupervisorStats of the last supervised batch, else ``None``.
         self.stats = None
 
@@ -278,14 +303,38 @@ class TrialRunner:
                 raise ValueError(f"duplicate trial key {spec.key!r}")
             seen.add(spec.key)
 
+        # Fingerprint once per spec when a store is attached; the store
+        # is probed *after* the journal (same-campaign resume wins) and
+        # serves verified records as cached outcomes, materialised into
+        # the journal so warm and cold runs leave byte-identical
+        # journals.  Lazy import: repro.store pulls in repro.results,
+        # which this module must not import at module scope.
+        fingerprints: dict[str, str] = {}
+        if self.store is not None:
+            from repro.store.fingerprint import spec_fingerprint
+
+            fingerprints = {spec.key: spec_fingerprint(spec) for spec in specs}
+
         outcomes: dict[str, TrialOutcome] = {}
         pending: list[TrialSpec] = []
         for spec in specs:
             done = self.journal.lookup(spec.key) if self.journal is not None else None
             if done is not None:
                 outcomes[spec.key] = TrialOutcome(spec.key, done, cached=True)
-            else:
-                pending.append(spec)
+                if self.store is not None:
+                    # Backfill: a journaled campaign migrates into the
+                    # store in passing (and a mismatched prior store
+                    # record trips the determinism oracle loudly).
+                    self.store.put(fingerprints[spec.key], spec.key, done)
+                continue
+            if self.store is not None and self.use_cache:
+                hit = self.store.get(fingerprints[spec.key])
+                if hit is not None:
+                    outcomes[spec.key] = TrialOutcome(spec.key, hit, cached=True)
+                    if self.journal is not None:
+                        self.journal.record(spec.key, hit)
+                    continue
+            pending.append(spec)
 
         supervised = self.jobs > 1 and self.backend == "supervised"
         chaos_active = supervised and self._supervisor_config().chaos_seed is not None
@@ -296,9 +345,18 @@ class TrialRunner:
             for spec in pending:
                 outcomes[spec.key] = self._run_one(spec)
         elif supervised:
-            self._run_supervised(pending, outcomes)
+            self._run_supervised(pending, outcomes, fingerprints)
         else:
             self._run_pool(pending, outcomes)
+        if self.store is not None:
+            # Persist every executed result.  The supervised backend
+            # already streamed puts as trials completed; re-putting here
+            # is a cheap byte-compare no-op that also covers the serial
+            # and raw-pool paths.
+            for spec in pending:
+                done = outcomes.get(spec.key)
+                if done is not None and done.ok:
+                    self.store.put(fingerprints[spec.key], spec.key, done.record)
         return [outcomes[spec.key] for spec in specs]
 
     # ------------------------------------------------------------------
@@ -322,7 +380,10 @@ class TrialRunner:
         return TrialOutcome(spec.key, record)
 
     def _run_supervised(
-        self, pending: list[TrialSpec], outcomes: dict[str, TrialOutcome]
+        self,
+        pending: list[TrialSpec],
+        outcomes: dict[str, TrialOutcome],
+        fingerprints: Optional[dict] = None,
     ) -> None:
         from repro.experiments.supervisor import Supervisor
 
@@ -331,6 +392,8 @@ class TrialRunner:
             journal=self.journal,
             trial_timeout_s=self.trial_timeout_s,
             config=self._supervisor_config(),
+            store=self.store,
+            fingerprints=fingerprints,
         )
         try:
             outcomes.update(sup.run(pending))

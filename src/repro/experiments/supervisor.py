@@ -344,10 +344,21 @@ class Supervisor:
         journal: Optional[SweepJournal] = None,
         trial_timeout_s: Optional[float] = None,
         config: Optional[SupervisorConfig] = None,
+        store=None,
+        fingerprints: Optional[dict] = None,
     ) -> None:
         self.jobs = max(1, int(jobs))
         self.journal = journal
         self.trial_timeout_s = trial_timeout_s
+        #: Optional :class:`repro.store.ResultStore` plus a key ->
+        #: fingerprint map for this batch's specs: successful trials are
+        #: streamed into the store *as they complete*, so a crash (or
+        #: SIGINT drain) mid-campaign still leaves every finished trial
+        #: durable and cross-run reusable — and a result that disagrees
+        #: with a prior run's record trips the determinism oracle at the
+        #: moment of completion, not hours later at campaign end.
+        self.store = store
+        self.fingerprints = fingerprints or {}
         self.config = config if config is not None else SupervisorConfig.from_env()
         self.stats = SupervisorStats()
         self._ctx = _mp_context()
@@ -550,6 +561,10 @@ class Supervisor:
                     retries=attempt,
                 )
                 worker.busy = None
+                if record is not None and self.store is not None:
+                    fp = self.fingerprints.get(key)
+                    if fp is not None:
+                        self.store.put(fp, key, record)
 
     def _check_health(self, now: float) -> None:
         for worker in list(self._workers.values()):

@@ -27,6 +27,7 @@ __all__ = [
     "save_result",
     "load_result",
     "to_jsonable",
+    "canonical_dumps",
     "atomic_write_text",
     "REGISTRY",
 ]
@@ -43,29 +44,63 @@ def register_result(cls: Type) -> Type:
     return cls
 
 
-def to_jsonable(value: Any) -> Any:
-    """Recursively convert dataclasses/arrays/tuples to JSON-native data."""
+def to_jsonable(value: Any, fallback=None) -> Any:
+    """Recursively convert dataclasses/arrays/tuples to JSON-native data.
+
+    *fallback*, when given, is applied to any value this function cannot
+    serialise instead of raising; it must return JSON-able data (its
+    result is converted recursively too).  The store's fingerprint layer
+    uses it to encode callables in trial params by qualified name.
+    """
     if isinstance(value, np.ndarray):
         return {"__ndarray__": value.tolist(), "dtype": str(value.dtype)}
     if dataclasses.is_dataclass(value) and not isinstance(value, type):
         return {
             "type": type(value).__name__,
             "fields": {
-                f.name: to_jsonable(getattr(value, f.name))
+                f.name: to_jsonable(getattr(value, f.name), fallback)
                 for f in dataclasses.fields(value)
             },
         }
     if isinstance(value, dict):
-        return {str(k): to_jsonable(v) for k, v in value.items()}
+        return {str(k): to_jsonable(v, fallback) for k, v in value.items()}
     if isinstance(value, (list, tuple)):
-        return [to_jsonable(v) for v in value]
+        return [to_jsonable(v, fallback) for v in value]
     if isinstance(value, (np.integer,)):
         return int(value)
     if isinstance(value, (np.floating,)):
         return float(value)
     if isinstance(value, (str, int, float, bool)) or value is None:
         return value
+    if fallback is not None:
+        return to_jsonable(fallback(value), fallback)
     raise TypeError(f"cannot serialise {type(value).__name__}: {value!r}")
+
+
+def canonical_dumps(obj: Any) -> str:
+    """*The* canonical JSON encoding: one byte sequence per value.
+
+    Everything that is hashed or checksummed — store record bytes, spec
+    fingerprints (:mod:`repro.store`) — must go through this function so
+    "same data" always means "same bytes": keys sorted, separators fixed
+    (no whitespace), unicode kept as-is.  NaN and Infinity are rejected
+    with a clear error instead of being emitted as the non-JSON literals
+    ``NaN``/``Infinity`` that :func:`json.dumps` writes by default —
+    a fingerprint over non-interoperable bytes would be a landmine.
+
+    Human-facing files (journal entries, archived results) keep their
+    indented layouts; canonical bytes are for integrity, not for reading.
+    """
+    try:
+        return json.dumps(
+            obj, sort_keys=True, separators=(",", ":"),
+            allow_nan=False, ensure_ascii=False,
+        )
+    except ValueError as exc:
+        raise ValueError(
+            "canonical JSON cannot encode NaN/Infinity (or other "
+            f"out-of-range floats): {exc}"
+        ) from exc
 
 
 def _from_jsonable(value: Any) -> Any:

@@ -1,0 +1,45 @@
+"""Content-addressed result store with end-to-end integrity.
+
+The durable complement to the per-campaign
+:class:`~repro.checkpoint.harness.SweepJournal`: trials are pure
+functions of their specs, so records are keyed by
+:func:`spec_fingerprint` — SHA-256 over the canonical JSON of
+``(spec, code version)`` — and memoized *across* runs and campaigns.
+Every stored byte is a checksummed canonical envelope written atomically;
+reads verify before serving and quarantine what fails; ``fsck`` proves
+the whole store intact (or repairs it from journals); GC is crash-safe
+via a mark journal; and two different results under one fingerprint is a
+:class:`DeterminismViolation`, making the store a standing cross-run
+determinism oracle.
+
+Layer map: :mod:`repro.store.records` (envelope),
+:mod:`repro.store.fingerprint` (keys), :mod:`repro.store.store`
+(:class:`ResultStore`: put/get/fsck/gc/stats), :mod:`repro.store.cli`
+(``fsck | gc | stats | chaos``).
+"""
+
+from repro.store.fingerprint import code_version, fingerprint_payload, spec_fingerprint
+from repro.store.records import IntegrityError, decode_record, encode_record
+from repro.store.store import (
+    DeterminismViolation,
+    FsckFinding,
+    FsckReport,
+    GcReport,
+    ResultStore,
+    StoreError,
+)
+
+__all__ = [
+    "ResultStore",
+    "StoreError",
+    "DeterminismViolation",
+    "IntegrityError",
+    "FsckFinding",
+    "FsckReport",
+    "GcReport",
+    "spec_fingerprint",
+    "fingerprint_payload",
+    "code_version",
+    "encode_record",
+    "decode_record",
+]

@@ -1,0 +1,6 @@
+"""``python -m repro.store`` — the store's operational CLI."""
+
+from repro.store.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

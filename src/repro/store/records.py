@@ -1,0 +1,109 @@
+"""Checksummed canonical record envelope: the store's unit of integrity.
+
+Every file the content-addressed store writes — result records, key
+index entries, the GC mark journal — is one canonical JSON object with
+an embedded SHA-256 over the canonical encoding of everything *except*
+the checksum field itself.  The envelope turns "is this file intact?"
+into a pure function of its bytes:
+
+* a torn write (truncation, interleaved writers) fails to parse;
+* a bit flip anywhere — payload or checksum — fails verification;
+* a structurally wrong object (missing fields, stale format) fails the
+  caller's shape check after decoding.
+
+Writers call :func:`encode_record` and land the bytes with the repo's
+atomic temp + fsync + ``os.replace`` discipline; readers call
+:func:`decode_record` and treat :class:`IntegrityError` as "this record
+does not exist" (quarantining the carcass, never trusting it).  Because
+the payload is canonically encoded (:func:`repro.results.canonical_dumps`),
+identical payloads produce identical bytes — the property that makes
+concurrent same-key writers benign and lets ``fsck --repair`` restore a
+record byte-identical to the original from a journal copy.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Union
+
+from repro.results import canonical_dumps
+
+__all__ = ["IntegrityError", "checksum", "encode_record", "decode_record"]
+
+#: Name of the embedded checksum field.
+CHECKSUM_FIELD = "sha256"
+
+
+class IntegrityError(ValueError):
+    """A stored record failed integrity verification.
+
+    ``kind`` classifies the violation:
+
+    ========== ====================================================
+    ``torn``       not parseable as JSON (truncated/interleaved write)
+    ``shape``      parseable, but not a checksummed record object
+    ``checksum``   checksum mismatch (bit flip / tampering)
+    ========== ====================================================
+    """
+
+    def __init__(self, kind: str, message: str) -> None:
+        self.kind = kind
+        super().__init__(message)
+
+
+def checksum(payload: dict) -> str:
+    """SHA-256 hex digest of the canonical encoding of *payload*."""
+    return hashlib.sha256(canonical_dumps(payload).encode("utf-8")).hexdigest()
+
+
+def encode_record(payload: dict) -> bytes:
+    """Serialise *payload* as a checksummed canonical record.
+
+    *payload* must be a JSON-able dict without a ``sha256`` field (the
+    envelope owns that name).  The result is one line of canonical JSON
+    plus a trailing newline — identical payloads always produce
+    identical bytes.
+    """
+    if not isinstance(payload, dict):
+        raise TypeError(f"record payload must be a dict, got {type(payload).__name__}")
+    if CHECKSUM_FIELD in payload:
+        raise ValueError(f"payload may not contain the reserved {CHECKSUM_FIELD!r} field")
+    body = dict(payload)
+    body[CHECKSUM_FIELD] = checksum(payload)
+    return (canonical_dumps(body) + "\n").encode("utf-8")
+
+
+def decode_record(data: Union[bytes, str]) -> dict:
+    """Parse and verify a record written by :func:`encode_record`.
+
+    Returns the full payload (checksum field included, for forensics).
+    Raises :class:`IntegrityError` on any violation; callers must treat
+    that as "no such record", never as data.
+    """
+    if isinstance(data, bytes):
+        try:
+            data = data.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise IntegrityError("torn", f"record is not valid UTF-8: {exc}")
+    try:
+        obj = json.loads(data)
+    except json.JSONDecodeError as exc:
+        raise IntegrityError("torn", f"record is not valid JSON: {exc}")
+    if not isinstance(obj, dict) or CHECKSUM_FIELD not in obj:
+        raise IntegrityError(
+            "shape", "record is not a checksummed object (missing sha256 field)"
+        )
+    claimed = obj[CHECKSUM_FIELD]
+    payload = {k: v for k, v in obj.items() if k != CHECKSUM_FIELD}
+    try:
+        actual = checksum(payload)
+    except (TypeError, ValueError) as exc:
+        raise IntegrityError("shape", f"record payload is not canonicalisable: {exc}")
+    if claimed != actual:
+        raise IntegrityError(
+            "checksum",
+            f"record checksum mismatch: stored {claimed!r}, computed {actual!r} "
+            "(bit flip or tampering)",
+        )
+    return obj

@@ -2,6 +2,7 @@
 wall-clock trial watchdog, and atomic result writes."""
 
 import json
+import logging
 import os
 import signal
 import time
@@ -60,6 +61,77 @@ class TestJournalResume:
         j.clear()
         assert j.lookup("k") is None
         assert list(j.dir.glob("*.json")) == []
+
+
+class TestShardMergeHardening:
+    """merge_shards must drop torn/misshapen shard entries instead of
+    raising or clobbering good canonical entries, log what it shed, and
+    leave no shard directories behind."""
+
+    def test_trailing_garbage_entry_is_dropped_and_logged(self, tmp_path, caplog):
+        shard = SweepJournal(tmp_path, shard="w1")
+        shard.record("good", {"v": 1})
+        bad = shard._write_dir / "bad.json"
+        bad.write_text('{"status": "ok", "record": {"v": 2}}trailing-garbage')
+        j = SweepJournal(tmp_path)
+        with caplog.at_level(logging.WARNING, logger="repro.harness"):
+            assert j.merge_shards() == 1
+        assert j.lookup("good") == {"v": 1}
+        assert j.lookup("bad") is None
+        assert "dropped 1 torn/corrupt shard entry" in caplog.text
+
+    def test_valid_json_wrong_shape_entries_are_dropped(self, tmp_path, caplog):
+        shard = SweepJournal(tmp_path, shard="w1")
+        wd = shard._write_dir
+        (wd / "no-record.json").write_text('{"status": "ok"}')
+        (wd / "a-list.json").write_text('[1, 2, 3]')
+        (wd / "odd-status.json").write_text('{"status": "maybe", "record": {}}')
+        j = SweepJournal(tmp_path)
+        with caplog.at_level(logging.WARNING, logger="repro.harness"):
+            assert j.merge_shards() == 0
+        for stem in ("no-record", "a-list", "odd-status"):
+            assert j.lookup(stem) is None
+        assert "wrong entry shape" in caplog.text
+        assert "dropped 3 torn/corrupt shard entries" in caplog.text
+
+    def test_two_pid_shards_merge_to_the_direct_write_bytes(self, tmp_path):
+        a = SweepJournal(tmp_path, shard="w100")
+        b = SweepJournal(tmp_path, shard="w200")
+        a.record("k1", {"v": 1})
+        b.record("k2", {"v": 2})
+        # Deterministic trials: a key finished by both workers carries
+        # identical bytes, so last-writer-wins is harmless.
+        a.record("shared", {"v": 3})
+        b.record("shared", {"v": 3})
+        merged = SweepJournal(tmp_path)
+        merged.merge_shards()
+
+        direct = SweepJournal(tmp_path / "direct")
+        direct.record("k1", {"v": 1})
+        direct.record("k2", {"v": 2})
+        direct.record("shared", {"v": 3})
+        assert {p.name: p.read_bytes() for p in sorted(merged.dir.glob("*.json"))} == {
+            p.name: p.read_bytes() for p in sorted(direct.dir.glob("*.json"))
+        }
+        assert not merged.shards_dir.exists()  # emptied dirs removed
+
+    def test_stray_shard_files_are_swept_with_the_dirs(self, tmp_path):
+        shard = SweepJournal(tmp_path, shard="w1")
+        shard.record("k", {"v": 1})
+        (shard._write_dir / ".k.json.abc123.tmp").write_text("spill")
+        (shard._write_dir / "scratch.txt").write_text("left by a dying worker")
+        j = SweepJournal(tmp_path)
+        j.merge_shards()
+        assert j.lookup("k") == {"v": 1}
+        assert not j.shards_dir.exists()
+
+    def test_merge_is_idempotent(self, tmp_path):
+        shard = SweepJournal(tmp_path, shard="w1")
+        shard.record("k", {"v": 1})
+        j = SweepJournal(tmp_path)
+        assert j.merge_shards() == 1
+        assert j.merge_shards() == 0
+        assert j.lookup("k") == {"v": 1}
 
 
 class TestFailedTrials:
