@@ -178,6 +178,53 @@ def _subsystem_attribution(prof: cProfile.Profile) -> dict:
     return out
 
 
+def bench_policy_dispatch() -> dict:
+    """Dispatch-core cost across the SchedPolicy zoo, aix first.
+
+    A deliberately dispatch-bound shape: no daemon noise, every CPU
+    occupied by a rank, short compute bursts — so context switches,
+    queue ops, and the policy's place/pick/on_tick hooks dominate the
+    event mix.  The ``aix`` rate here is the guard for the
+    policy-extraction refactor: its indirection must stay within noise
+    (≤3%) of the pre-refactor hard-coded dispatcher, measured via
+    :func:`bench_cluster_des` on the same machine state.  The other
+    policies are recorded for context, not guarded — e.g. ``fair``
+    legitimately pays for vruntime bookkeeping per queue op.
+    """
+    from repro.apps.aggregate_trace import AggregateTraceConfig, run_aggregate_trace
+    from repro.config import ClusterConfig, KernelConfig, MachineConfig, MpiConfig
+    from repro.kernel.policy import policy_names
+    from repro.system import System
+
+    out = {}
+    for policy in policy_names():
+        cfg = ClusterConfig(
+            machine=MachineConfig(n_nodes=2, cpus_per_node=8),
+            kernel=KernelConfig(policy=policy),
+            mpi=MpiConfig(progress_threads_enabled=False),
+            seed=3,
+        )
+        system = System(cfg)
+        t0 = time.perf_counter()
+        run_aggregate_trace(
+            system, 16, 8,
+            AggregateTraceConfig(calls_per_loop=120, compute_between_us=150.0),
+        )
+        wall = time.perf_counter() - t0
+        events = system.sim.events_processed
+        out[policy] = {
+            "events": events,
+            "wall_s": round(wall, 4),
+            "events_per_s": round(events / wall),
+        }
+    aix = out["aix"]["events_per_s"]
+    out["relative_to_aix"] = {
+        name: round(out[name]["events_per_s"] / aix, 3)
+        for name in out if name != "aix" and "events_per_s" in out[name]
+    }
+    return out
+
+
 def bench_fig4_attribution() -> dict:
     """The Figure-4 analysis shape: many windows against one dense trace.
 
@@ -286,6 +333,12 @@ def main(argv=None) -> int:
         top = [f"{k} {v:.0%}" for k, v in attribution.items()
                if not k.startswith("_")][:5]
         print(f"  profile          : {', '.join(top)}")
+    entry["scenarios"]["policy_dispatch"] = r = bench_policy_dispatch()
+    rates = ", ".join(
+        f"{k} {v['events_per_s'] / 1e3:.0f}k"
+        for k, v in r.items() if k != "relative_to_aix"
+    )
+    print(f"  policy_dispatch  : {rates} events/s")
     entry["scenarios"]["fig4_attribution"] = r = bench_fig4_attribution()
     print(f"  fig4_attribution : {r['windows_per_s']} windows/s over "
           f"{r['intervals']} intervals")

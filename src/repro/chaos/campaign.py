@@ -58,9 +58,19 @@ def _chaos_trial(params: dict) -> dict:
     Top-level and pure (all inputs in *params*), per the TrialRunner
     contract; the returned record is plain JSON, and contains the entry
     list so a journaled verdict can be audited without regenerating.
+
+    ``params["policy"]`` (a ``{"name": ..., <param>: ...}`` dict), when
+    present, *forces* that policy entry onto the schedule — replacing
+    whatever the ``chaos.policy`` axis drew — so a campaign can pin the
+    whole seed range to one zoo member.
     """
     workload = ChaosWorkload(**params["workload"])
     schedule = generate_schedule(params["seed"], workload)
+    forced = params.get("policy")
+    if forced:
+        entries = [e for e in schedule.entries if e["kind"] != "policy"]
+        entries.append({"kind": "policy", **forced})
+        schedule = schedule.with_entries(entries)
     report = judge(schedule)
     return {
         "seed": params["seed"],
@@ -96,12 +106,17 @@ def run_chaos(
     shrink: bool = True,
     shrink_budget: int = 60,
     corpus_out: Optional[str] = None,
+    policy: Optional[str] = None,
+    policy_params: tuple = (),
 ) -> ChaosCampaignResult:
     """Judge ``seed_base .. seed_base+seeds-1``; shrink and save failures.
 
     Deterministic end to end: the verdict table, the journal bytes, and
     the minimized counterexamples depend only on ``(seeds, seed_base,
-    quick)`` — not on ``jobs``, resume state, or wall clock.
+    quick)`` and the forced *policy* — not on ``jobs``, resume state, or
+    wall clock.  ``policy`` pins every seed's schedule to that dispatch
+    policy (overriding the ``chaos.policy`` axis); journal keys carry the
+    policy name so pinned and unpinned campaigns never collide.
     """
     workload = chaos_workload(quick)
     wl_params = {
@@ -111,12 +126,15 @@ def run_chaos(
         "compute_between_us": workload.compute_between_us,
         "time_compression": workload.time_compression,
     }
+    forced = dict((("name", policy),) + tuple(policy_params)) if policy else None
+    suffix = ("-quick" if quick else "") + (f"-p{policy}" if policy else "")
     seed_list = tuple(range(seed_base, seed_base + seeds))
     specs = [
         TrialSpec(
-            key=f"chaos-s{seed}" + ("-quick" if quick else ""),
+            key=f"chaos-s{seed}{suffix}",
             fn="repro.chaos.campaign:_chaos_trial",
-            params={"seed": seed, "workload": wl_params},
+            params={"seed": seed, "workload": wl_params}
+            | ({"policy": forced} if forced else {}),
         )
         for seed in seed_list
     ]

@@ -3,7 +3,8 @@
 One campaign seed → one :class:`~repro.chaos.schedule.ChaosSchedule`,
 always the same one.  Every axis draws from its own named
 :mod:`repro.rng` stream (``chaos.net``, ``chaos.node``,
-``chaos.cosched``, ``chaos.timesync``, ``chaos.pipe``) derived from the
+``chaos.cosched``, ``chaos.timesync``, ``chaos.pipe``,
+``chaos.policy``) derived from the
 schedule seed — the same variance-isolation discipline the injector
 itself uses — so regenerating a schedule is exact, and widening one
 axis's draw logic in a future PR cannot silently reshuffle the scenarios
@@ -23,6 +24,7 @@ from __future__ import annotations
 from repro.chaos.oracles import analytic_call_us
 from repro.chaos.schedule import ChaosSchedule, ChaosWorkload
 from repro.rng import StreamFactory
+from repro.units import ms
 
 __all__ = ["generate_schedule", "estimated_span_us"]
 
@@ -126,5 +128,20 @@ def generate_schedule(seed: int, workload: ChaosWorkload) -> ChaosSchedule:
     rng = rngf.stream("chaos.pipe")
     if float(rng.random()) < 0.30:
         entries.append({"kind": "pipe", "prob": float(rng.uniform(0.02, 0.40))})
+
+    # -- scheduling policy (singleton axis) -----------------------------
+    # Not a fault: swaps the dispatch semantics under test so the
+    # liveness/safety/determinism oracles sweep the whole policy matrix,
+    # not just the paper's dispatcher.  Its own stream, like every axis:
+    # adding this axis cannot reshuffle what older axes draw for a seed.
+    rng = rngf.stream("chaos.policy")
+    if float(rng.random()) < 0.35:
+        name = ("fair", "quantum", "lottery")[int(rng.integers(0, 3))]
+        entry = {"kind": "policy", "name": name}
+        if name in ("quantum", "lottery") and float(rng.random()) < 0.5:
+            entry["slice_us"] = float(rng.uniform(0.5, 3.0)) * ms(10)
+        elif name == "fair" and float(rng.random()) < 0.5:
+            entry["min_granularity_us"] = float(rng.uniform(0.2, 2.0)) * ms(10)
+        entries.append(entry)
 
     return ChaosSchedule(seed=seed, workload=workload, entries=tuple(entries))

@@ -71,17 +71,23 @@ _SLACK = 6.0
 
 
 def build_cluster_config(
-    workload: ChaosWorkload, faults: FaultConfig, seed: int
+    workload: ChaosWorkload,
+    faults: FaultConfig,
+    seed: int,
+    policy: tuple = ("aix", ()),
 ) -> ClusterConfig:
     """The system under test: prototype kernel + co-scheduler + standard
     daemon ecology at compressed time, faults as given (E8's build rule —
-    chaos runs must exercise the same machine the experiments measure)."""
+    chaos runs must exercise the same machine the experiments measure).
+    *policy* is a ``(name, params)`` pair selecting the dispatch policy
+    (the chaos ``policy`` axis / the policy-ablation experiment)."""
     w = workload
+    name, params = policy
     return ClusterConfig(
         machine=MachineConfig(n_nodes=w.n_nodes, cpus_per_node=w.tasks_per_node),
         kernel=KernelConfig.prototype(
             big_tick=max(1, int(round(25 / w.time_compression)))
-        ),
+        ).with_options(policy=name, policy_params=params),
         cosched=CoschedConfig(enabled=True, period_us=w.period_us, duty_cycle=0.90),
         mpi=MpiConfig.with_long_polling(progress_threads_enabled=False),
         noise=scale_noise(standard_noise(include_cron=False), w.time_compression),
@@ -138,6 +144,12 @@ def liveness_bound_us(schedule: ChaosSchedule) -> float:
             bound += 4.0 * base
         elif kind == "pipe":
             bound += 2.0 * period
+        elif kind == "policy":
+            # A priority-blind policy defeats the co-scheduler's favored
+            # windows, so the coordinated model's prediction no longer
+            # anchors the run; allow the uncoordinated-baseline blow-up,
+            # same as timesync loss.
+            bound += 4.0 * base
         elif kind == "net":
             # Sound window argument: while the fault window is open the
             # job progresses >= 0 where the clean run progresses
@@ -172,7 +184,10 @@ def run_schedule(schedule: ChaosSchedule) -> ChaosRunResult:
     w = schedule.workload
     bound = liveness_bound_us(schedule)
     system = System(
-        build_cluster_config(w, schedule.fault_config(), schedule.seed),
+        build_cluster_config(
+            w, schedule.fault_config(), schedule.seed,
+            policy=schedule.policy_spec(),
+        ),
         trace=TraceRecorder(enabled=True),
     )
     app = AggregateTraceConfig(

@@ -19,10 +19,16 @@ Entry kinds
 ``cosched``   one co-scheduler fault: ``node``, ``fault`` ("die" or
               "hang"), ``at_us``, ``duration_us``
 ``timesync``  global clock loss: ``at_us``, ``jump_us``, ``drift_rate``
+``policy``    node scheduling policy under test: ``name`` (a
+              :mod:`repro.kernel.policy` registry name) plus optional
+              per-policy params (``slice_us``, ``min_granularity_us``).
+              Not a fault — it swaps the dispatch semantics the oracles
+              must hold up under, sweeping the policy matrix.
 
-``net``, ``pipe`` and ``timesync`` are singleton axes (at most one entry
-each — :meth:`ChaosSchedule.fault_config` rejects duplicates); ``node``
-and ``cosched`` entries may appear any number of times.
+``net``, ``pipe``, ``timesync`` and ``policy`` are singleton axes (at
+most one entry each — :meth:`ChaosSchedule.fault_config` rejects
+duplicates); ``node`` and ``cosched`` entries may appear any number of
+times.
 """
 
 from __future__ import annotations
@@ -35,9 +41,9 @@ from repro.units import ms, s
 __all__ = ["ChaosWorkload", "ChaosSchedule", "ENTRY_KINDS"]
 
 #: Every entry ``kind`` the composer understands, singleton axes first.
-ENTRY_KINDS = ("net", "pipe", "timesync", "node", "cosched")
+ENTRY_KINDS = ("net", "pipe", "timesync", "policy", "node", "cosched")
 
-_SINGLETON_KINDS = ("net", "pipe", "timesync")
+_SINGLETON_KINDS = ("net", "pipe", "timesync", "policy")
 
 
 @dataclass(frozen=True)
@@ -123,6 +129,10 @@ class ChaosSchedule:
                     clock_jump_us=e["jump_us"],
                     clock_drift_rate=e["drift_rate"],
                 )
+            elif kind == "policy":
+                # Not a fault: consumed by policy_spec() / the oracle
+                # harness, invisible to the injector.
+                continue
             elif kind == "node":
                 node_faults.append(
                     NodeFaultSpec(
@@ -150,6 +160,17 @@ class ChaosSchedule:
         )
         cfg.validate_targets(w.n_nodes)
         return cfg
+
+    def policy_spec(self) -> tuple:
+        """``(name, params)`` of the policy entry — ``("aix", ())`` when
+        the schedule carries none (the default system under test)."""
+        for e in self.entries:
+            if e["kind"] == "policy":
+                params = tuple(
+                    sorted((k, v) for k, v in e.items() if k not in ("kind", "name"))
+                )
+                return e["name"], params
+        return "aix", ()
 
     # ------------------------------------------------------------------
     # Derivation helpers (used by the shrinker)

@@ -38,6 +38,7 @@ _HALVE_FIELDS = {
     "node": ("duration_us", "fraction"),
     "cosched": ("duration_us",),
     "timesync": ("jump_us", "drift_rate"),
+    "policy": ("slice_us", "min_granularity_us"),
 }
 
 #: Fields pushed later (toward the end of the run) instead of halved.

@@ -130,6 +130,19 @@ class KernelConfig:
         parallelism of overhead execution at a small per-daemon efficiency
         cost (``global_queue_penalty`` fractional slowdown, e.g. two 3 ms
         daemons run concurrently in ~3.1 ms instead of serially in 6 ms).
+    policy:
+        Node scheduling policy by registry name (:mod:`repro.kernel.policy`):
+        ``aix`` (default, the paper's dispatcher — bit-identical to the
+        pre-policy-framework scheduler), ``fair`` (CFS-style virtual
+        runtime), ``quantum`` (fixed-slice round-robin), ``lottery``
+        (ticket-proportional, seed-deterministic via the named
+        ``kernel.lottery.<node>`` rng stream).  Unknown names raise here,
+        at construction, listing the registered policies.
+    policy_params:
+        Per-policy tunables as a mapping or ``(name, value)`` pair tuple
+        (canonicalised to a sorted tuple so configs stay hashable and
+        fingerprint-stable).  Validated against the policy's declared
+        parameter set — unknown params raise at construction.
     """
 
     tick_period_us: float = ms(10)
@@ -160,6 +173,9 @@ class KernelConfig:
     cache_refill_us: float = 0.0
     steal_enabled: bool = True
 
+    policy: str = "aix"
+    policy_params: tuple = ()
+
     def __post_init__(self) -> None:
         if self.big_tick_multiplier < 1:
             raise ValueError("big_tick_multiplier must be >= 1")
@@ -169,6 +185,22 @@ class KernelConfig:
             raise ValueError("global_queue_penalty must be in [0, 1]")
         if self.tick_period_us <= 0:
             raise ValueError("tick_period_us must be positive")
+        # Canonicalise policy_params (dict or pair sequence) to a sorted
+        # pair tuple, then validate name + params against the registry —
+        # unknown policies/params must fail here, not deep inside a run.
+        try:
+            items = tuple(sorted(dict(self.policy_params).items()))
+        except (TypeError, ValueError):
+            raise ValueError(
+                f"policy_params must be a mapping or (name, value) pairs, "
+                f"got {self.policy_params!r}"
+            ) from None
+        object.__setattr__(self, "policy_params", items)
+        # Function-level import: repro.kernel.policy imports repro.kernel
+        # modules which import this module back.
+        from repro.kernel.policy import validate_policy
+
+        validate_policy(self.policy, items)
 
     @property
     def physical_tick_period_us(self) -> float:

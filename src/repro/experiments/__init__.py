@@ -38,6 +38,7 @@ from repro.experiments.timer_threads import TimerThreadsResult, run_timer_thread
 from repro.experiments.ale3d_io import Ale3dIoResult, run_ale3d_io
 from repro.experiments.ablation import AblationResult, run_ablation
 from repro.experiments.resilience import ResilienceResult, run_resilience
+from repro.experiments.policyzoo import PolicyZooResult, run_policyzoo
 
 __all__ = [
     "Scenario",
@@ -70,4 +71,6 @@ __all__ = [
     "run_ablation",
     "ResilienceResult",
     "run_resilience",
+    "PolicyZooResult",
+    "run_policyzoo",
 ]

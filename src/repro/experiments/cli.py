@@ -11,6 +11,9 @@
     repro-experiments fig6 --results results/run1 --resume  # skip done trials
     repro-experiments e9 --quick          # crash/restart round-trip check
     repro-experiments chaos --quick --seeds 8 --jobs 2   # fault fuzzing
+    repro-experiments chaos --quick --policy quantum     # pin the campaign
+    repro-experiments policy --quick --jobs 4            # E13 policy ablation
+    repro-experiments policy --policy aix --policy fair  # subset of the zoo
 
 Parallelism: ``--jobs N`` fans the independent (scenario, count, seed)
 trials of every campaign out over N worker processes via
@@ -117,7 +120,7 @@ def main(argv: list[str] | None = None) -> int:
             "tpn15", "speedup", "timers", "ale3d", "ablation",
             "multijob", "hw", "finegrain", "misalign", "resilience",
             "waitmode", "sensitivity", "granularity", "validate", "e9",
-            "chaos", "all", "extensions",
+            "chaos", "policy", "all", "extensions",
         ],
     )
     parser.add_argument("--quick", action="store_true", help="smaller sweeps for a fast pass")
@@ -204,7 +207,24 @@ def main(argv: list[str] | None = None) -> int:
         "--corpus-out", metavar="DIR",
         help="chaos: write minimized failing schedules to DIR as corpus JSON",
     )
+    policy_group = parser.add_argument_group("dispatch policy (E13 / chaos)")
+    policy_group.add_argument(
+        "--policy", metavar="NAME", action="append", default=None,
+        help="dispatch policy from the repro.kernel.policy zoo (repeatable)."
+             " 'policy': restrict the ablation grid to these;"
+             " 'chaos': pin every schedule to the (single) given policy"
+             " instead of letting the chaos.policy axis draw one",
+    )
     args = parser.parse_args(argv)
+    if args.policy:
+        from repro.kernel.policy import policy_names
+
+        known = policy_names()
+        for name in args.policy:
+            if name not in known:
+                parser.error(f"--policy {name!r}: not registered; known: {known}")
+        if "chaos" in args.experiments and len(args.policy) > 1:
+            parser.error("chaos accepts a single --policy to pin the campaign to")
     if args.jobs < 1:
         parser.error("--jobs must be >= 1")
     if args.no_cache and not args.store:
@@ -415,10 +435,31 @@ def _run_selected(wanted, args, qa, harness, csv_out, save_json) -> int:
                 shrink=not args.no_shrink,
                 shrink_budget=args.shrink_budget,
                 corpus_out=args.corpus_out,
+                policy=args.policy[0] if args.policy else None,
                 **harness,
             )
             print(format_chaos(res))
             if res.failures:
+                return 1
+        elif name == "policy":
+            from repro.experiments.policyzoo import format_policyzoo, run_policyzoo
+
+            res = run_policyzoo(
+                policies=args.policy, quick=args.quick, **harness
+            )
+            print(format_policyzoo(res))
+            csv_out(
+                "policyzoo",
+                ("policy", "n_ranks", "mean_us", "median_us", "max_us", "slowdown"),
+                [
+                    (p, n, res.mean_us[p][i], res.median_us[p][i],
+                     res.max_us[p][i], res.mean_us[p][i] / res.reference_us[i])
+                    for p in res.policies
+                    for i, n in enumerate(res.sizes)
+                ],
+            )
+            save_json("policyzoo", res)
+            if not all(all(v) for v in res.values_ok.values()):
                 return 1
         elif name == "validate":
             from repro.experiments.validate import format_validation, run_validation

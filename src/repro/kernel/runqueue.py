@@ -1,27 +1,41 @@
-"""Priority run queues with lazy removal.
+"""Key-ordered run queues with lazy removal.
 
-AIX dispatch order: numerically lowest priority first; FIFO among equals.
-Entries are heap tuples ``(priority, seq, thread)``; removal (thread chosen
-elsewhere, priority change) marks the entry stale via the thread's
-``rq_entry`` back-pointer and the heap skips stale entries on pop —
-the same O(1)-cancel idiom the event queue uses.
+Default dispatch order is AIX's: numerically lowest priority first, FIFO
+among equals.  A :class:`~repro.kernel.policy.SchedPolicy` may instead
+supply a *key* callable evaluated at enqueue time (virtual runtime for
+``fair``, a constant for the FIFO policies — entries then order purely by
+sequence number).  Entries are heap tuples ``(key, seq, thread)``; removal
+(thread chosen elsewhere, priority change) marks the entry stale via the
+thread's ``rq_entry`` back-pointer and the heap skips stale entries on
+pop — the same O(1)-cancel idiom the event queue uses.  When stale
+entries outnumber live ones past a floor, :meth:`remove` compacts the
+heap in place (mirroring the event queue's dead>live>=64 rule) so
+churn-heavy workloads cannot accumulate unbounded dead weight.
+
+``seq`` comes from a class-global counter, so sequence order is total
+*across* queues — :meth:`head_rank` exposes the head's ``(key, seq)``
+rank for policies that run a cross-queue FIFO.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
-from typing import Iterator, Optional
+from typing import Callable, Iterator, Optional
 
 from repro.kernel.thread import Thread
 
 __all__ = ["RunQueue"]
 
+#: Compaction floor: never compact tiny heaps (pruning handles those);
+#: beyond it, compact as soon as dead entries outnumber live ones.
+_COMPACT_MIN_ENTRIES = 64
+
 
 class _Entry:
     __slots__ = ("priority", "seq", "thread", "live")
 
-    def __init__(self, priority: int, seq: int, thread: Thread) -> None:
+    def __init__(self, priority: float, seq: int, thread: Thread) -> None:
         self.priority = priority
         self.seq = seq
         self.thread = thread
@@ -36,8 +50,13 @@ class RunQueue:
 
     _seq = itertools.count()
 
-    def __init__(self, name: str = "") -> None:
+    def __init__(
+        self, name: str = "", key: Optional[Callable[[Thread], float]] = None
+    ) -> None:
         self.name = name
+        #: Enqueue-time ordering key; None = thread.priority (AIX order,
+        #: and the fast path — no callable indirection in push).
+        self._key = key
         self._heap: list[_Entry] = []
         self._live = 0
 
@@ -48,16 +67,17 @@ class RunQueue:
         return self._live > 0
 
     def push(self, thread: Thread) -> None:
-        """Enqueue *thread* at its current priority, behind equals."""
+        """Enqueue *thread* at its current key, behind equals."""
         if thread.rq_entry is not None and thread.rq_entry.live:
             raise RuntimeError(f"{thread!r} is already queued")
-        entry = _Entry(thread.priority, next(self._seq), thread)
+        key = thread.priority if self._key is None else self._key(thread)
+        entry = _Entry(key, next(self._seq), thread)
         thread.rq_entry = entry
         heapq.heappush(self._heap, entry)
         self._live += 1
 
     def remove(self, thread: Thread) -> None:
-        """Dequeue *thread* (lazy)."""
+        """Dequeue *thread* (lazy; compacts when dead weight dominates)."""
         entry = thread.rq_entry
         if entry is None or not entry.live:
             raise RuntimeError(f"{thread!r} is not queued")
@@ -65,6 +85,10 @@ class RunQueue:
         entry.thread = None
         thread.rq_entry = None
         self._live -= 1
+        dead = len(self._heap) - self._live
+        if dead >= _COMPACT_MIN_ENTRIES and dead > self._live:
+            self._heap = [e for e in self._heap if e.live]
+            heapq.heapify(self._heap)
 
     def _prune(self) -> None:
         heap = self._heap
@@ -72,9 +96,22 @@ class RunQueue:
             heapq.heappop(heap)
 
     def best_priority(self) -> Optional[int]:
-        """Priority of the head thread, or None when empty."""
+        """Key of the head thread (priority under the default order), or None."""
         self._prune()
         return self._heap[0].priority if self._heap else None
+
+    def head_rank(self) -> Optional[tuple]:
+        """``(key, seq)`` rank of the head thread, or None when empty.
+
+        Sequence numbers are globally monotonic across queues, so ranks
+        compare meaningfully *between* queues — the cross-queue FIFO the
+        quantum policy runs.
+        """
+        self._prune()
+        if not self._heap:
+            return None
+        head = self._heap[0]
+        return (head.priority, head.seq)
 
     def peek(self) -> Optional[Thread]:
         """Return (without removing) the head thread, or None."""

@@ -28,6 +28,7 @@ _PAPER_OPTIONS = {
     "fix_reverse_preemption": "§3 improvement 1: IPI on reverse pre-emption",
     "fix_multi_ipi": "§3 improvement 2: multiple in-flight preemption IPIs",
     "daemons_global_queue": "§3.1.2 Execute overhead tasks with maximum parallelism",
+    "policy": "beyond the paper: pluggable dispatch policy (repro.kernel.policy zoo)",
 }
 
 
@@ -40,6 +41,12 @@ class Schedtune:
     >>> cfg = st.commit()
     >>> cfg.physical_tick_period_us
     250000.0
+
+    Policy selection rides the same surface: ``set("policy", "quantum")``
+    picks a zoo member, and dotted ``policy.<param>`` names stage its
+    tunables (``set("policy.slice_us", 5000.0)``) — validated against the
+    *currently staged* policy's declared parameters, so select the policy
+    first.
     """
 
     def __init__(self, base: KernelConfig | None = None) -> None:
@@ -48,7 +55,26 @@ class Schedtune:
         self._valid = {f.name for f in fields(KernelConfig)}
 
     def set(self, option: str, value: Any) -> None:
-        """Stage an option change; unknown names raise immediately."""
+        """Stage an option change; unknown names raise immediately.
+
+        ``policy.<param>`` stages one per-policy parameter, merged into
+        ``policy_params`` and validated against the staged policy.
+        """
+        if option.startswith("policy."):
+            from repro.kernel.policy import policy_param_names
+
+            param = option[len("policy."):]
+            policy = self.get("policy")
+            valid = policy_param_names(policy)
+            if param not in valid:
+                raise KeyError(
+                    f"schedtune: policy {policy!r} has no parameter {param!r}; "
+                    f"valid: {sorted(valid)}"
+                )
+            merged = dict(self.get("policy_params"))
+            merged[param] = value
+            self._pending["policy_params"] = tuple(sorted(merged.items()))
+            return
         if option not in self._valid:
             raise KeyError(
                 f"schedtune: unknown option {option!r}; valid: {sorted(self._valid)}"

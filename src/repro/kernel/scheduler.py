@@ -31,6 +31,14 @@ provides the queue.)
 **Work stealing.**  An idle CPU takes work whose ``allow_steal`` permits
 migration — how a 15-tasks-per-node configuration lets the spare CPU
 absorb daemon activity.  Bound job threads are never stolen.
+
+**Policy/mechanism split.**  Everything above describes the *default*
+(``aix``) policy.  This class keeps only mechanism — context switches,
+completion events, IPIs, tick checks, accounting — and delegates every
+decision (queue routing, placement, picking, stealing, rotation,
+preempt checks) to a :class:`~repro.kernel.policy.SchedPolicy` selected
+by ``KernelConfig.policy``.  The ``aix`` policy is the extracted
+original behaviour under a bit-identical contract.
 """
 
 from __future__ import annotations
@@ -38,6 +46,7 @@ from __future__ import annotations
 from typing import Any, Callable, Generator, Optional
 
 from repro.config import KernelConfig, PRIO_IDLE
+from repro.kernel.policy import make_policy
 from repro.kernel.runqueue import RunQueue
 from repro.kernel.thread import (
     Block,
@@ -111,6 +120,11 @@ class NodeScheduler:
     trace:
         Optional object with ``record_interval(node_id, cpu, thread, t0,
         t1)``; called whenever a thread leaves a CPU.
+    rng_streams:
+        Optional :class:`~repro.rng.StreamFactory` for policies that draw
+        randomness (``lottery`` uses ``kernel.lottery.<node>``).  The
+        Cluster passes its own factory; deterministic policies never
+        touch it, so passing None stays valid for them.
     """
 
     def __init__(
@@ -121,6 +135,7 @@ class NodeScheduler:
         config: KernelConfig,
         ticks: TickSchedule,
         trace: Optional[Any] = None,
+        rng_streams: Optional[Any] = None,
     ) -> None:
         self.sim = sim
         self.node_id = node_id
@@ -128,14 +143,24 @@ class NodeScheduler:
         self.config = config
         self.ticks = ticks
         self.trace = trace
+        self.rng_streams = rng_streams
+        self.policy = make_policy(config)
+        key = self.policy.queue_key
         self.cpus = [CpuState(i) for i in range(n_cpus)]
-        self.local_queues = [RunQueue(f"n{node_id}c{i}") for i in range(n_cpus)]
-        self.global_queue = RunQueue(f"n{node_id}g")
+        self.local_queues = [RunQueue(f"n{node_id}c{i}", key=key) for i in range(n_cpus)]
+        self.global_queue = RunQueue(f"n{node_id}g", key=key)
         self.threads: list[Thread] = []
         self._ipis_inflight = 0
         #: IPIs suppressed by the stock one-in-flight rule (for tests/stats).
         self.ipis_suppressed = 0
         self.ipis_sent = 0
+        self.policy.bind(self)
+        # Bound-method aliases: the decision calls sit on the dispatch hot
+        # path, and one attribute walk per call is the whole price of the
+        # policy indirection (guarded by the bench_engine policy bench).
+        self._queue_for = self.policy.queue_for
+        self._consider_placement = self.policy.place
+        self._pick_best = self.policy.pick
 
     # ==================================================================
     # Public API
@@ -238,10 +263,9 @@ class NodeScheduler:
                 self._consider_placement(thread)
         elif thread.state is ThreadState.RUNNING:
             if priority > old:
-                # Reverse preemption: is a waiter now better than us?
+                # Reverse preemption: does a waiter now beat us?
                 cpu_idx = thread.cpu
-                best = self._best_waiting_priority(cpu_idx)
-                if best is not None and best < priority:
+                if self.policy.waiter_beats(cpu_idx, thread):
                     if self_call:
                         # Syscall exit is a natural preemption point.
                         self._check_cpu(cpu_idx)
@@ -301,6 +325,7 @@ class NodeScheduler:
                 "sent": self.ipis_sent,
                 "suppressed": self.ipis_suppressed,
             },
+            "policy": self.policy.snapshot_state(desc),
         }
 
     def idle_cpus(self) -> int:
@@ -417,10 +442,8 @@ class NodeScheduler:
     # ==================================================================
     # Ready queues and placement
     # ==================================================================
-    def _queue_for(self, thread: Thread) -> RunQueue:
-        if thread.use_global_queue and self.config.daemons_global_queue:
-            return self.global_queue
-        return self.local_queues[thread.affinity_cpu]
+    # _queue_for / _consider_placement / _pick_best are bound to the
+    # active policy's queue_for / place / pick in __init__.
 
     def _make_ready(self, thread: Thread) -> None:
         thread.state = ThreadState.READY
@@ -432,91 +455,6 @@ class NodeScheduler:
         for cpu in self.cpus:
             if cpu.idle:
                 return cpu.index
-        return None
-
-    def _consider_placement(self, thread: Thread) -> None:
-        """React to *thread* becoming ready / better: dispatch or preempt.
-
-        Dispatching a freed CPU may pick a *different* (better or
-        earlier-queued equal) thread; when that happens this thread is
-        still READY and must fall through to the preemption/rotation
-        arming below, or it would wait unbounded (two co-scheduled jobs
-        timesharing a CPU hit exactly this).
-        """
-        if thread.use_global_queue and self.config.daemons_global_queue:
-            idle = self._find_idle_cpu()
-            if idle is not None:
-                self._dispatch(idle)
-                if thread.state is not ThreadState.READY:
-                    return
-            # Preempt the CPU running the worst-priority occupant.
-            worst_cpu, worst_prio = None, -1
-            for cpu in self.cpus:
-                if cpu.thread is not None and cpu.thread.priority > worst_prio:
-                    worst_cpu, worst_prio = cpu.index, cpu.thread.priority
-            if worst_cpu is None:
-                return
-            if thread.priority < worst_prio:
-                self._request_preempt(worst_cpu)
-            elif thread.priority == worst_prio:
-                self._schedule_check(worst_cpu)
-            return
-
-        home = thread.affinity_cpu
-        if self.cpus[home].idle:
-            self._dispatch(home)
-            if thread.state is not ThreadState.READY:
-                return
-        if thread.allow_steal and self.config.steal_enabled:
-            idle = self._find_idle_cpu()
-            if idle is not None:
-                self._dispatch(idle)
-                if thread.state is not ThreadState.READY:
-                    return
-        running = self.cpus[home].thread
-        if running is None:
-            return
-        if thread.priority < running.priority:
-            if thread.hardware:
-                # Device interrupt: asserted directly at the target CPU,
-                # no dispatcher noticing latency.
-                self._check_cpu(home)
-            else:
-                self._request_preempt(home)
-        elif thread.priority == running.priority:
-            self._schedule_check(home)
-
-    def _best_waiting_priority(self, cpu_idx: int) -> Optional[int]:
-        lp = self.local_queues[cpu_idx].best_priority()
-        gp = self.global_queue.best_priority()
-        if lp is None:
-            return gp
-        if gp is None:
-            return lp
-        return min(lp, gp)
-
-    def _pick_best(self, cpu_idx: int) -> Optional[Thread]:
-        """Choose the next occupant for *cpu_idx* (local beats global on ties)."""
-        lq = self.local_queues[cpu_idx]
-        gq = self.global_queue
-        lp = lq.best_priority()
-        gp = gq.best_priority()
-        if lp is not None and (gp is None or lp <= gp):
-            return lq.pop()
-        if gp is not None:
-            return gq.pop()
-        if self.config.steal_enabled:
-            # Idle with nothing queued here: steal the best migratable
-            # thread from a sibling queue.
-            best_q, best_p = None, None
-            for i, q in enumerate(self.local_queues):
-                if i == cpu_idx or not q:
-                    continue
-                p = q.best_stealable_priority()
-                if p is not None and (best_p is None or p < best_p):
-                    best_q, best_p = q, p
-            if best_q is not None:
-                return best_q.pop_stealable()
         return None
 
     # ==================================================================
@@ -683,33 +621,25 @@ class NodeScheduler:
         self.cpus[cpu_idx].check_ev = None
         self._check_cpu(cpu_idx)
 
-    def _check_cpu(self, cpu_idx: int) -> None:
-        """Preemption point: compare the occupant against the best waiter."""
+    def _rearm_check(self, cpu_idx: int) -> None:
+        """Re-arm the pending-work check for *cpu_idx*'s next tick boundary
+        (policies call this when the incumbent keeps its CPU for now)."""
         cpu = self.cpus[cpu_idx]
-        if cpu.thread is None:
+        if cpu.check_ev is None or not cpu.check_ev.active:
+            cpu.check_ev = self.sim.schedule_at(
+                self.ticks.next_boundary(cpu_idx, self.sim.now),
+                self._tick_check,
+                cpu_idx,
+                priority=_PRIO_INTERRUPT,
+            )
+
+    def _check_cpu(self, cpu_idx: int) -> None:
+        """Preemption point: refill an idle CPU, else let the policy judge
+        the occupant against its waiters."""
+        if self.cpus[cpu_idx].thread is None:
             self._dispatch(cpu_idx)
             return
-        best = self._best_waiting_priority(cpu_idx)
-        if best is None:
-            return
-        running = cpu.thread
-        if best < running.priority:
-            self._preempt(cpu_idx)
-        elif best == running.priority:
-            # Round-robin among equals at the preemption point — but only
-            # once the incumbent has consumed a timeslice (one base tick),
-            # as AIX's per-tick priority ageing effectively does.  If not
-            # yet, re-arm for the next boundary so the waiter still gets
-            # its turn.
-            if self.sim.now - cpu.last_switch >= self.config.tick_period_us - 1e-6:
-                self._preempt(cpu_idx)
-            elif cpu.check_ev is None or not cpu.check_ev.active:
-                cpu.check_ev = self.sim.schedule_at(
-                    self.ticks.next_boundary(cpu_idx, self.sim.now),
-                    self._tick_check,
-                    cpu_idx,
-                    priority=_PRIO_INTERRUPT,
-                )
+        self.policy.on_tick(cpu_idx)
 
     def _preempt(self, cpu_idx: int) -> None:
         cpu = self.cpus[cpu_idx]

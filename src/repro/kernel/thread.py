@@ -194,6 +194,7 @@ class Thread:
         "resume_advance",
         "cs_due",
         "rq_entry",
+        "policy_data",
         "stats",
         "on_finish",
         "on_priority_change",
@@ -248,6 +249,9 @@ class Thread:
         #: Context-switch cost to fold into the next completion.
         self.cs_due: float = 0.0
         self.rq_entry = None
+        #: Scheduling-policy-private state (e.g. the fair policy's
+        #: vruntime offset).  None until a policy that needs it writes it.
+        self.policy_data = None
         self.stats = ThreadStats()
         #: Optional callback invoked when the body finishes.
         self.on_finish: Optional[Callable[["Thread"], None]] = None
@@ -278,6 +282,7 @@ class Thread:
             "cs_due": self.cs_due,
             "spinning": self.spinning is not None,
             "resume_advance": self.resume_advance,
+            "policy_data": self.policy_data,
             "wake_ev": desc.event(self.wake_ev),
             "completion_ev": desc.event(self.completion_ev),
             "stats": {

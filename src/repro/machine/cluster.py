@@ -85,6 +85,7 @@ class Cluster:
                     clock_offset_us=offset,
                     tick_phase_us=tick_phase,
                     trace=self.trace,
+                    rng_streams=self.rngf,
                 )
             )
 

@@ -38,6 +38,7 @@ class Node:
         clock_offset_us: float = 0.0,
         tick_phase_us: float = 0.0,
         trace=None,
+        rng_streams=None,
     ) -> None:
         self.id = node_id
         self.n_cpus = n_cpus
@@ -54,7 +55,9 @@ class Node:
             node_phase_us=tick_phase_us,
             clock_offset_us=clock_offset_us,
         )
-        self.scheduler = NodeScheduler(sim, node_id, n_cpus, kernel, self.ticks, trace=trace)
+        self.scheduler = NodeScheduler(
+            sim, node_id, n_cpus, kernel, self.ticks, trace=trace, rng_streams=rng_streams
+        )
 
     def local_time(self, global_now: float) -> float:
         """This node's time-of-day reading at global time *global_now*."""

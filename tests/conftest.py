@@ -14,11 +14,20 @@ from repro.sim.core import Simulator
 class SchedulerHarness:
     """One node's scheduler plus convenience spawn/record helpers."""
 
-    def __init__(self, n_cpus: int = 2, kernel: KernelConfig | None = None, trace=None):
+    def __init__(
+        self,
+        n_cpus: int = 2,
+        kernel: KernelConfig | None = None,
+        trace=None,
+        rng_streams=None,
+    ):
         self.config = kernel if kernel is not None else KernelConfig(context_switch_us=0.0)
         self.sim = Simulator()
         self.ticks = TickSchedule(self.config, n_cpus)
-        self.sched = NodeScheduler(self.sim, 0, n_cpus, self.config, self.ticks, trace=trace)
+        self.sched = NodeScheduler(
+            self.sim, 0, n_cpus, self.config, self.ticks, trace=trace,
+            rng_streams=rng_streams,
+        )
         self.log: list[tuple[float, str]] = []
 
     def mark(self, label: str) -> None:

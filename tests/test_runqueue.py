@@ -1,9 +1,9 @@
-"""Run queues: dispatch order, lazy removal, steal filtering."""
+"""Run queues: dispatch order, lazy removal, steal filtering, compaction."""
 
 import pytest
 from hypothesis import given, strategies as st
 
-from repro.kernel.runqueue import RunQueue
+from repro.kernel.runqueue import _COMPACT_MIN_ENTRIES, RunQueue
 from repro.kernel.thread import Thread
 
 
@@ -135,6 +135,69 @@ class TestStealable:
         q.push(b)
         q.remove(a)
         assert list(q.threads()) == [b]
+
+
+class TestCompaction:
+    """Stale entries must not accumulate without bound (sim/core.py's
+    dead > live >= threshold in-place compaction, mirrored here)."""
+
+    def test_mass_removal_compacts_heap(self):
+        q = RunQueue()
+        keep = [make_thread(50, name=f"k{i}") for i in range(4)]
+        churn = [make_thread(80, name=f"c{i}") for i in range(2 * _COMPACT_MIN_ENTRIES)]
+        for t in keep + churn:
+            q.push(t)
+        for t in churn:
+            q.remove(t)
+        assert len(q) == len(keep)
+        # Compaction fired: dead weight was dropped back under the floor
+        # instead of accumulating one tombstone per removal.
+        dead = len(q._heap) - len(q)
+        assert dead < _COMPACT_MIN_ENTRIES
+
+    def test_compaction_preserves_order_and_content(self):
+        q = RunQueue()
+        keep = [make_thread(p, name=f"k{p}") for p in (30, 60, 60, 90)]
+        churn = [make_thread(70) for _ in range(_COMPACT_MIN_ENTRIES + 5)]
+        for t in keep + churn:
+            q.push(t)
+        for t in churn:
+            q.remove(t)
+        assert [q.pop() for _ in range(len(keep))] == keep
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(min_value=0, max_value=2),
+                      st.integers(min_value=0, max_value=127)),
+            max_size=300,
+        )
+    )
+    def test_heap_stays_bounded(self, ops):
+        """Under any push/remove/pop interleaving the physical heap stays
+        within the compaction bound: dead entries never exceed
+        max(threshold, live)."""
+        q = RunQueue()
+        queued = []
+        serial = 0
+        for op, prio in ops:
+            if op == 0:
+                t = make_thread(prio, name=str(serial))
+                serial += 1
+                q.push(t)
+                queued.append(t)
+            elif op == 1 and queued:
+                q.remove(queued.pop(prio % len(queued)))
+            elif op == 2:
+                t = q.pop()
+                if t is not None:
+                    queued.remove(t)
+            assert len(q) == len(queued)
+            dead = len(q._heap) - len(queued)
+            assert dead <= max(_COMPACT_MIN_ENTRIES, len(queued))
+        drained = []
+        while q:
+            drained.append(q.pop())
+        assert sorted(drained, key=id) == sorted(queued, key=id)
 
 
 class TestPropertyOrder:
