@@ -285,6 +285,131 @@ def bench_fig4_end_to_end() -> dict:
     }
 
 
+def bench_meanfield() -> dict:
+    """The mean-field accuracy/speed curve (E14, quick grid).
+
+    This is the published artifact for the fast path: per batch factor,
+    the event-count reduction and wall speedup against the exact engine,
+    with the sorted-curve error quantiles that price the approximation.
+    The oracle gate (batch=1 digest == exact digest) rides along, so a
+    regression that silently changes the exact path shows up here too.
+    """
+    from repro.experiments.e14_meanfield import run_e14
+
+    res = run_e14(quick=True)
+    return {
+        "n_ranks": res.n_ranks,
+        "n_nodes": res.n_nodes,
+        "oracle_ok": res.oracle_ok,
+        "exact_events": res.exact_events,
+        "exact_wall_s": round(res.exact_wall_s, 3),
+        "curve": [
+            {
+                "batch": res.batches[i],
+                "events": res.events[i],
+                "event_reduction": round(res.event_reduction[i], 3),
+                "wall_speedup": round(res.wall_speedup[i], 3),
+                "elapsed_dev_pct": round(res.elapsed_dev_pct[i], 3),
+                "mean_dev_pct": round(res.mean_dev_pct[i], 3),
+                "curve_err_p50_pct": round(res.curve_err_p50_pct[i], 3),
+                "curve_err_p90_pct": round(res.curve_err_p90_pct[i], 3),
+            }
+            for i in range(len(res.batches))
+        ],
+    }
+
+
+def bench_sharded_des(shards: int = 2) -> dict:
+    """Conservative parallel DES across real worker processes.
+
+    The *correctness* half always runs: an N-shard run's result digest
+    must equal the serial run's, byte for byte.  The *speedup* half is
+    only meaningful when the machine actually has a core per shard —
+    on smaller boxes it is skipped with an honest annotation instead of
+    recording a "slowdown" that is really just oversubscription.
+    """
+    from repro.experiments.pdes import run_pdes
+
+    cpus = os.cpu_count() or 1
+    serial = run_pdes(shards=1, quick=True)
+    sharded = run_pdes(shards=shards, quick=True)
+    out = {
+        "shards": shards,
+        "n_ranks": serial.n_ranks,
+        "digest_match": serial.digest == sharded.digest,
+        "serial_wall_s": round(serial.wall_s, 3),
+        "sharded_wall_s": round(sharded.wall_s, 3),
+        "events_per_shard": sharded.events_per_shard,
+        "supersteps": sharded.supersteps,
+        "messages_crossed": sharded.messages_crossed,
+    }
+    if cpus < shards:
+        out["speedup"] = None
+        out["skipped"] = (
+            f"cpu_count {cpus} < shards {shards}: wall-clock speedup is not "
+            "measurable on this machine (workers time-share one core); "
+            "digest equivalence still verified"
+        )
+    else:
+        out["speedup"] = round(serial.wall_s / sharded.wall_s, 3)
+    return out
+
+
+def bench_white_meanfield() -> dict:
+    """White-scale fig4-style run: 8192 CPUs (512 nodes x 16), exact vs
+    mean-field.  The headline claim — noise-dominated White-scale runs at
+    >=5x — priced with the makespan/mean deviation of the batched run.
+    Minutes of wall; opt-in via --white.
+    """
+    import numpy as np
+
+    from repro.daemons.catalog import scale_noise, standard_noise
+    from repro.experiments.common import VANILLA16, make_config
+    from repro.sim.meanfield import MeanFieldConfig
+    from repro.sim.parallel import run_parallel
+    from repro.units import s as sec
+
+    n_ranks = 8192
+    noise = scale_noise(standard_noise(include_cron=False), 50.0)
+    cfg = make_config(VANILLA16, n_ranks=n_ranks, noise=noise, seed=1234)
+    params = dict(loops=1, calls_per_loop=4, trace_block=64,
+                  compute_between_us=40000.0, payload_bytes=8,
+                  record_nodes=(0,))
+
+    def one(mf):
+        t0 = time.perf_counter()
+        r = run_parallel(cfg, n_ranks=n_ranks, tasks_per_node=16,
+                         app="repro.apps.aggregate_trace:sharded_app",
+                         app_params=params, shards=1, horizon_us=sec(600),
+                         meanfield=mf, use_processes=False)
+        return r, time.perf_counter() - t0
+
+    exact, exact_wall = one(None)
+    fast, fast_wall = one(MeanFieldConfig(batch=32, exempt_nodes=(0,)))
+    e_sorted = np.sort(np.concatenate([np.asarray(v) for v in exact.ranks.values()]))
+    f_sorted = np.sort(np.concatenate([np.asarray(v) for v in fast.ranks.values()]))
+    return {
+        "n_ranks": n_ranks,
+        "n_nodes": cfg.machine.n_nodes,
+        "batch": 32,
+        "exact_events": sum(exact.events_per_shard),
+        "fast_events": sum(fast.events_per_shard),
+        "event_reduction": round(
+            sum(exact.events_per_shard) / sum(fast.events_per_shard), 3
+        ),
+        "exact_wall_s": round(exact_wall, 1),
+        "fast_wall_s": round(fast_wall, 1),
+        "wall_speedup": round(exact_wall / fast_wall, 3),
+        "elapsed_dev_pct": round(
+            (fast.elapsed_us - exact.elapsed_us) / exact.elapsed_us * 100, 3
+        ),
+        "mean_dev_pct": round(
+            (float(f_sorted.mean()) - float(e_sorted.mean()))
+            / float(e_sorted.mean()) * 100, 3
+        ),
+    }
+
+
 def _git_commit() -> str:
     try:
         return subprocess.run(
@@ -308,6 +433,12 @@ def main(argv=None) -> int:
                              "(the PR acceptance metric; ~seconds)")
     parser.add_argument("--fresh", action="store_true",
                         help="start a new history instead of appending")
+    parser.add_argument("--shards", type=int, default=2,
+                        help="shard count for the sharded_des scenario "
+                             "(default: 2)")
+    parser.add_argument("--white", action="store_true",
+                        help="also run the White-scale (8192-CPU) "
+                             "exact-vs-meanfield comparison (~minutes)")
     args = parser.parse_args(argv)
 
     commit = _git_commit()
@@ -315,6 +446,10 @@ def main(argv=None) -> int:
         "label": args.label or commit,
         "commit": commit,
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        # Recorded per entry, not just in the (latest-run) environment
+        # block: history accretes across machines, and a speedup number
+        # is only interpretable next to the core count that produced it.
+        "cpu_count": os.cpu_count(),
         "scenarios": {},
     }
     print(f"[bench_engine] label={entry['label']} commit={commit}")
@@ -342,6 +477,24 @@ def main(argv=None) -> int:
     entry["scenarios"]["fig4_attribution"] = r = bench_fig4_attribution()
     print(f"  fig4_attribution : {r['windows_per_s']} windows/s over "
           f"{r['intervals']} intervals")
+    entry["scenarios"]["meanfield"] = r = bench_meanfield()
+    best = r["curve"][-1]
+    print(f"  meanfield        : oracle {'PASS' if r['oracle_ok'] else 'FAIL'}, "
+          f"batch {best['batch']}: {best['event_reduction']}x events, "
+          f"{best['wall_speedup']}x wall, "
+          f"curve p90 err {best['curve_err_p90_pct']}%")
+    entry["scenarios"]["sharded_des"] = r = bench_sharded_des(shards=args.shards)
+    if r.get("skipped"):
+        print(f"  sharded_des      : digest_match={r['digest_match']} "
+              f"(speedup skipped: {r['skipped'].split(':')[0]})")
+    else:
+        print(f"  sharded_des      : digest_match={r['digest_match']}, "
+              f"{r['speedup']}x wall on {r['shards']} shards")
+    if args.white:
+        entry["scenarios"]["white_meanfield"] = r = bench_white_meanfield()
+        print(f"  white_meanfield  : {r['event_reduction']}x events, "
+              f"{r['wall_speedup']}x wall at {r['n_ranks']} ranks "
+              f"(elapsed dev {r['elapsed_dev_pct']}%)")
     if args.fig4:
         entry["scenarios"]["fig4_end_to_end"] = r = bench_fig4_end_to_end()
         print(f"  fig4_end_to_end  : {r['wall_s']}s, digest "

@@ -29,6 +29,7 @@ __all__ = [
     "PAPER_CONFIG",
     "aggregate_trace_body",
     "run_aggregate_trace",
+    "sharded_app",
 ]
 
 
@@ -122,6 +123,47 @@ def aggregate_trace_body(config: AggregateTraceConfig, sink: dict, node0_ranks: 
             sink.setdefault("bad_values", []).append(rank)
 
     return factory
+
+
+def sharded_app(params: dict):
+    """Parallel-DES app provider (``repro.apps.aggregate_trace:sharded_app``).
+
+    Referenced by name from :func:`repro.sim.parallel.run_parallel` so the
+    spec stays picklable across shard workers.  *params* feeds
+    :class:`AggregateTraceConfig` (``loops``, ``calls_per_loop``,
+    ``trace_block``, ``compute_between_us``, ``payload_bytes``) plus
+    ``record_nodes`` — the nodes whose ranks' per-call durations enter the
+    result digest (default node 0, the Figure-4 methodology).  Rank 0
+    always records.  Each shard collects only the ranks it simulated; the
+    coordinator merges the per-shard dicts.
+    """
+    cfg_keys = ("loops", "calls_per_loop", "trace_block", "compute_between_us", "payload_bytes")
+    cfg = AggregateTraceConfig(**{k: params[k] for k in cfg_keys if k in params})
+    record_nodes = frozenset(params.get("record_nodes", (0,)))
+    sink: dict = {}
+
+    def body_factory(rank: int, api: MpiApi):
+        node = api.world.placement.node_of(rank)
+        recording = {rank} if (rank == 0 or node in record_nodes) else set()
+        return aggregate_trace_body(cfg, sink, recording)(rank, api)
+
+    def collect() -> dict:
+        ranks = {
+            str(r): [float(x) for x in sink[r][0]]
+            for r in sink
+            if isinstance(r, int)
+        }
+        ok = all(sink[r][1] for r in sink if isinstance(r, int))
+        ok = ok and "bad_values" not in sink
+        return {"ranks": ranks, "ok": ok}
+
+    class _App:
+        pass
+
+    app = _App()
+    app.body_factory = body_factory
+    app.collect = collect
+    return app
 
 
 def run_aggregate_trace(

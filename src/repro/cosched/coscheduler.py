@@ -313,14 +313,22 @@ class JobCoscheduler:
         self.pipe_filter = pipe_filter
         #: Daemon restarts performed via :meth:`restart_node` (watchdog).
         self.restarts = 0
-        job_nodes = sorted({job.placement.node_of(r) for r in range(job.placement.n_ranks)})
+        # Under parallel DES only the owned shard block gets daemons —
+        # remote job nodes are co-scheduled by the shard that owns them.
+        job_nodes = sorted(
+            {
+                job.placement.node_of(r)
+                for r in range(job.placement.n_ranks)
+                if cluster.owns_node(job.placement.node_of(r))
+            }
+        )
         self.node_coscheds: dict[int, NodeCoscheduler] = {
             n: NodeCoscheduler(cluster, cluster.nodes[n], self.config, job.name)
             for n in job_nodes
         }
         # MPI-init registration: each task's PID flows over the control
         # pipe shortly after spawn.
-        for rank in range(job.placement.n_ranks):
+        for rank in job.local_ranks:
             nc = self.node_coscheds[job.placement.node_of(rank)]
             task = job.world.rank_threads[rank]
             self._pipe_send(nc.pipe_register, task)

@@ -39,6 +39,8 @@ from repro.experiments.ale3d_io import Ale3dIoResult, run_ale3d_io
 from repro.experiments.ablation import AblationResult, run_ablation
 from repro.experiments.resilience import ResilienceResult, run_resilience
 from repro.experiments.policyzoo import PolicyZooResult, run_policyzoo
+from repro.experiments.e14_meanfield import E14Result, run_e14
+from repro.experiments.pdes import PdesResult, run_pdes
 
 __all__ = [
     "Scenario",
@@ -73,4 +75,8 @@ __all__ = [
     "run_resilience",
     "PolicyZooResult",
     "run_policyzoo",
+    "E14Result",
+    "run_e14",
+    "PdesResult",
+    "run_pdes",
 ]

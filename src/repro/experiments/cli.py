@@ -120,7 +120,7 @@ def main(argv: list[str] | None = None) -> int:
             "tpn15", "speedup", "timers", "ale3d", "ablation",
             "multijob", "hw", "finegrain", "misalign", "resilience",
             "waitmode", "sensitivity", "granularity", "validate", "e9",
-            "chaos", "policy", "all", "extensions",
+            "chaos", "policy", "e14", "pdes", "all", "extensions",
         ],
     )
     parser.add_argument("--quick", action="store_true", help="smaller sweeps for a fast pass")
@@ -207,6 +207,24 @@ def main(argv: list[str] | None = None) -> int:
         "--corpus-out", metavar="DIR",
         help="chaos: write minimized failing schedules to DIR as corpus JSON",
     )
+    pdes_group = parser.add_argument_group("parallel DES (pdes / E14)")
+    pdes_group.add_argument(
+        "--shards", type=int, metavar="N", default=1,
+        help="pdes: partition the cluster's nodes across N shard "
+             "processes synchronized by conservative null-message "
+             "windows (default: 1); the result digest is shard-count "
+             "invariant by construction",
+    )
+    pdes_group.add_argument(
+        "--meanfield", type=int, metavar="B", default=0,
+        help="pdes: batch B daemon activations per wakeup on untraced "
+             "nodes (0/1: exact); accuracy cost is published by 'e14'",
+    )
+    pdes_group.add_argument(
+        "--digest-out", metavar="PATH",
+        help="pdes: write the run's result digest to PATH (one hex line; "
+             "CI byte-compares these across shard counts)",
+    )
     policy_group = parser.add_argument_group("dispatch policy (E13 / chaos)")
     policy_group.add_argument(
         "--policy", metavar="NAME", action="append", default=None,
@@ -227,6 +245,10 @@ def main(argv: list[str] | None = None) -> int:
             parser.error("chaos accepts a single --policy to pin the campaign to")
     if args.jobs < 1:
         parser.error("--jobs must be >= 1")
+    if args.shards < 1:
+        parser.error("--shards must be >= 1")
+    if args.meanfield < 0:
+        parser.error("--meanfield must be >= 0")
     if args.no_cache and not args.store:
         parser.error("--no-cache requires --store DIR (there is no cache to skip)")
     if args.max_retries < 0:
@@ -460,6 +482,46 @@ def _run_selected(wanted, args, qa, harness, csv_out, save_json) -> int:
             )
             save_json("policyzoo", res)
             if not all(all(v) for v in res.values_ok.values()):
+                return 1
+        elif name == "e14":
+            from repro.experiments.e14_meanfield import format_e14, run_e14
+
+            res = run_e14(quick=args.quick)
+            print(format_e14(res))
+            csv_out(
+                "e14",
+                ("batch", "events", "event_reduction", "wall_speedup",
+                 "elapsed_dev_pct", "mean_dev_pct",
+                 "curve_err_p50_pct", "curve_err_p90_pct", "curve_err_max_abs_us"),
+                [
+                    (res.batches[i], res.events[i], res.event_reduction[i],
+                     res.wall_speedup[i], res.elapsed_dev_pct[i],
+                     res.mean_dev_pct[i], res.curve_err_p50_pct[i],
+                     res.curve_err_p90_pct[i], res.curve_err_max_abs_us[i])
+                    for i in range(len(res.batches))
+                ],
+            )
+            save_json("e14", res)
+            if not res.oracle_ok:
+                return 1
+        elif name == "pdes":
+            from repro.experiments.pdes import format_pdes, run_pdes
+
+            res = run_pdes(
+                shards=args.shards,
+                quick=args.quick,
+                meanfield_batch=args.meanfield,
+            )
+            print(format_pdes(res))
+            save_json("pdes", res)
+            if args.digest_out:
+                d = os.path.dirname(args.digest_out)
+                if d:
+                    os.makedirs(d, exist_ok=True)
+                with open(args.digest_out, "w", encoding="utf-8") as fh:
+                    fh.write(res.digest + "\n")
+                print(f"[digest: {args.digest_out}]")
+            if not res.ok:
                 return 1
         elif name == "validate":
             from repro.experiments.validate import format_validation, run_validation

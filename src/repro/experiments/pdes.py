@@ -1,0 +1,122 @@
+"""``pdes`` CLI command: one sharded fig4-style run with a printable digest.
+
+This is the operational face of :mod:`repro.sim.parallel`: run the
+aggregate-trace workload under conservative parallel DES with ``--shards
+N``, print the run's result digest, and optionally write the digest to a
+file.  The digest covers exactly the rank-visible outcome (per-call
+durations of the recorded ranks, reduction integrity, makespan), which
+the engine guarantees is shard-count invariant — so CI runs this twice
+(``--shards 1`` and ``--shards 2``) and byte-compares the digest files.
+A human debugging a determinism regression does the same by hand.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.daemons.catalog import scale_noise, standard_noise
+from repro.experiments.common import VANILLA16, make_config
+from repro.results import register_result
+from repro.sim.meanfield import MeanFieldConfig
+from repro.sim.parallel import run_parallel
+from repro.units import s
+
+__all__ = ["PdesResult", "run_pdes", "format_pdes"]
+
+APP = "repro.apps.aggregate_trace:sharded_app"
+TIME_COMPRESSION = 50.0
+
+
+@register_result
+@dataclass
+class PdesResult:
+    """One sharded run's digest and superstep/transport accounting."""
+
+    n_ranks: int
+    n_nodes: int
+    shards: int
+    meanfield_batch: int
+    calls: int
+    digest: str
+    events_per_shard: list
+    messages_crossed: int
+    supersteps: int
+    lookahead_us: float
+    elapsed_us: float
+    ok: bool
+    wall_s: float
+
+
+def run_pdes(
+    shards: int = 1,
+    quick: bool = False,
+    meanfield_batch: int = 0,
+    seed: int = 1234,
+    use_processes: bool | None = None,
+) -> PdesResult:
+    """Run the fig4-style workload under *shards*-way parallel DES."""
+    if quick:
+        n_ranks, calls = 64, 8
+    else:
+        n_ranks, calls = 256, 48
+    noise = scale_noise(standard_noise(include_cron=False), TIME_COMPRESSION)
+    config = make_config(VANILLA16, n_ranks=n_ranks, noise=noise, seed=seed)
+    params = dict(
+        loops=1,
+        calls_per_loop=calls,
+        trace_block=64,
+        compute_between_us=20000.0,
+        payload_bytes=8,
+        record_nodes=(0,),
+    )
+    meanfield = (
+        MeanFieldConfig(batch=meanfield_batch, exempt_nodes=(0,))
+        if meanfield_batch > 1
+        else None
+    )
+    t0 = time.perf_counter()
+    r = run_parallel(
+        config,
+        n_ranks=n_ranks,
+        tasks_per_node=16,
+        app=APP,
+        app_params=params,
+        shards=shards,
+        horizon_us=s(600),
+        meanfield=meanfield,
+        use_processes=use_processes,
+    )
+    wall = time.perf_counter() - t0
+    return PdesResult(
+        n_ranks=n_ranks,
+        n_nodes=config.machine.n_nodes,
+        shards=shards,
+        meanfield_batch=meanfield_batch,
+        calls=calls,
+        digest=r.digest,
+        events_per_shard=list(r.events_per_shard),
+        messages_crossed=r.messages_crossed,
+        supersteps=r.supersteps,
+        lookahead_us=r.lookahead_us,
+        elapsed_us=r.elapsed_us,
+        ok=r.ok,
+        wall_s=wall,
+    )
+
+
+def format_pdes(res: PdesResult) -> str:
+    """Human-readable run summary; the digest line is the tripwire."""
+    return (
+        f"pdes: {res.n_ranks} ranks on {res.n_nodes} nodes across "
+        f"{res.shards} shard(s), {res.calls} Allreduce calls"
+        + (f", mean-field batch {res.meanfield_batch}" if res.meanfield_batch > 1 else "")
+        + "\n"
+        f"  events/shard : {res.events_per_shard}\n"
+        f"  supersteps   : {res.supersteps} "
+        f"(lookahead {res.lookahead_us:g} us, "
+        f"{res.messages_crossed} cross-shard messages)\n"
+        f"  sim elapsed  : {res.elapsed_us / 1e3:.1f} ms   "
+        f"wall {res.wall_s:.1f} s   values {'OK' if res.ok else 'BAD'}\n"
+        f"  digest       : {res.digest}"
+    )

@@ -128,7 +128,10 @@ class FaultInjector:
 
         sim = cluster.sim
         for spec in config.node_faults:
-            sim.schedule_at(spec.at_us, self._fire_node_fault, spec)
+            # Parallel DES: a fault on a remote node fires on its owning
+            # shard; scheduling it here would freeze an inert replica.
+            if cluster.owns_node(spec.node):
+                sim.schedule_at(spec.at_us, self._fire_node_fault, spec)
         if config.timesync_loss_at_us is not None:
             sim.schedule_at(config.timesync_loss_at_us, self._lose_timesync)
 
@@ -215,9 +218,10 @@ class FaultInjector:
                 nc.sync_check = self.monitor.ok
                 nc.on_degrade = self._on_degrade
         for spec in cfg.cosched_faults:
-            self.cluster.sim.schedule_at(
-                spec.at_us, self._fire_cosched_fault, job_cosched, spec
-            )
+            if self.cluster.owns_node(spec.node):
+                self.cluster.sim.schedule_at(
+                    spec.at_us, self._fire_cosched_fault, job_cosched, spec
+                )
         if cfg.watchdog_enabled:
             for node_id in job_cosched.node_coscheds:
                 self.watchdogs.append(CoschedWatchdog(self, job_cosched, node_id))

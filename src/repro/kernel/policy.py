@@ -454,6 +454,14 @@ class LotteryPolicy(_RotatingPolicy):
     ``kernel.lottery.<node>`` stream of the cluster's StreamFactory —
     seed-deterministic, replayable, and isolated from every other
     consumer's draws.  Rotation between draws is slice-based.
+
+    The per-*node* stream name is load-bearing for parallel DES
+    (:mod:`repro.sim.parallel`): StreamFactory derives the stream from the
+    name alone, so node *n*'s lottery draws are identical no matter which
+    shard owns the node or how many sibling streams exist — the
+    shard-stable naming contract ``tests/test_parallel_des.py`` pins.  A
+    single global ``kernel.lottery`` stream would instead interleave draws
+    in event order across nodes and break shard equivalence.
     """
 
     name = "lottery"

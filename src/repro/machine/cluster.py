@@ -11,6 +11,7 @@ from repro.net.fabric import Fabric
 from repro.net.switch import SwitchClock
 from repro.rng import StreamFactory
 from repro.sim.core import Simulator
+from repro.sim.shard import ShardPlan, ShardRouter
 from repro.trace.recorder import TraceRecorder
 
 __all__ = ["Cluster", "Placement"]
@@ -51,10 +52,30 @@ class Cluster:
     alignment to global time depends on the post-sync offsets.
     """
 
-    def __init__(self, config: ClusterConfig, trace: Optional[TraceRecorder] = None) -> None:
+    def __init__(
+        self,
+        config: ClusterConfig,
+        trace: Optional[TraceRecorder] = None,
+        shard: Optional[tuple[int, ShardPlan]] = None,
+    ) -> None:
         self.config = config
         self.sim = Simulator()
         self.rngf = StreamFactory(config.seed)
+        #: Cross-shard router (parallel DES), or None for a serial cluster.
+        #: Every shard builds the *full* node list below — construction
+        #: schedules no events and fixes the construction-time RNG draw
+        #: order identically on every shard — but installers (daemons,
+        #: I/O, co-schedulers, jobs) consult :meth:`owns_node` so only the
+        #: owned block ever gets threads.
+        self.router: Optional[ShardRouter] = None
+        if shard is not None:
+            shard_id, plan = shard
+            if plan.n_nodes != config.machine.n_nodes:
+                raise ValueError(
+                    f"shard plan covers {plan.n_nodes} nodes; "
+                    f"machine has {config.machine.n_nodes}"
+                )
+            self.router = ShardRouter(plan, shard_id)
         self.trace = trace if trace is not None else TraceRecorder(enabled=False)
         self.switch = SwitchClock(self.rngf.stream("switch.clock"))
         self.fabric = Fabric(self.sim, config.network)
@@ -89,6 +110,11 @@ class Cluster:
                 )
             )
 
+    def owns_node(self, node_id: int) -> bool:
+        """True when this cluster instance simulates *node_id* (always
+        true for serial clusters; the owned shard block otherwise)."""
+        return self.router is None or self.router.owns(node_id)
+
     @property
     def n_nodes(self) -> int:
         return len(self.nodes)
@@ -119,6 +145,9 @@ class Cluster:
             "switch": self.switch.snapshot_state(desc),
             "fabric": self.fabric.snapshot_state(desc),
             "trace": self.trace.snapshot_state(desc),
+            "shard": (
+                self.router.snapshot_state(desc) if self.router is not None else None
+            ),
             "nodes": [node.snapshot_state(desc) for node in self.nodes],
         }
 

@@ -57,6 +57,17 @@ class MpiWorld:
         #: Optional ReliableTransport installed by the fault injector; when
         #: present every point-to-point send is timeout/retransmit protected.
         self.reliability: Optional[ReliableTransport] = None
+        #: Cross-shard identity (parallel DES).  Worlds are constructed in
+        #: job-launch order on every shard, so the registration index names
+        #: the same world everywhere without any exchange.
+        self._world_uid: Optional[int] = None
+        if cluster.router is not None:
+            if config.algorithm == "hardware":
+                raise ValueError(
+                    "hardware collectives are not available under sharded "
+                    "parallel DES (see repro.sim.parallel)"
+                )
+            self._world_uid = cluster.router.register(self._on_arrive)
 
     def install_reliability(self, faults) -> ReliableTransport:
         """Wrap sends in timeout + retransmit (see :class:`ReliableTransport`).
@@ -87,7 +98,14 @@ class MpiWorld:
         msg = Message(src, dst, tag, payload, nbytes)
         src_node = self.placement.node_of(src)
         dst_node = self.placement.node_of(dst)
-        if self.reliability is not None:
+        router = self.cluster.router
+        if router is not None and not router.owns(dst_node):
+            # Cross-shard: account the send here, envelope the payload;
+            # the owning shard schedules delivery at the same arrival time
+            # (validate_sharded_config guarantees reliability is None).
+            arrival = self.cluster.fabric.transmit_remote(src_node, dst_node, nbytes)
+            router.emit(arrival, src_node, self._world_uid, dst_node, msg)
+        elif self.reliability is not None:
             self.reliability.send(src_node, dst_node, msg)
         else:
             self.cluster.fabric.transmit(src_node, dst_node, nbytes, msg, self._on_arrive)
@@ -435,12 +453,26 @@ class MpiJob:
         self._done = 0
         self._finish_times: dict[int, float] = {}
         self.start_time = cluster.sim.now
+        #: Ranks this cluster instance simulates (all of them serially;
+        #: the owned shard block under parallel DES).
+        self.local_ranks: list[int] = [
+            r
+            for r in range(placement.n_ranks)
+            if cluster.owns_node(placement.node_of(r))
+        ]
 
         n = placement.n_ranks
+        local = set(self.local_ranks)
         for rank in range(n):
             node = cluster.nodes[placement.node_of(rank)]
             cpu = placement.cpu_of(rank)
             api = MpiApi(self.world, rank, n)
+            if rank not in local:
+                # Remote rank: keep the api list rank-indexed (environment
+                # wiring is positional) but spawn nothing — its thread
+                # lives on the owning shard.
+                self.apis.append(api)
+                continue
             if on_api is not None:
                 # Environment wiring (I/O services etc.) must precede the
                 # spawn: a body's first requests execute immediately.
@@ -511,8 +543,21 @@ class MpiJob:
         }
 
     @property
+    def local_done(self) -> int:
+        """Locally-simulated ranks that have finished (parallel DES)."""
+        return self._done
+
+    @property
     def done(self) -> bool:
-        return self._done >= self.placement.n_ranks
+        """All locally-simulated ranks finished.
+
+        Serially that is every rank.  Under parallel DES it is the owned
+        block — which is exactly what the per-shard consumers (timer-thread
+        shutdown, co-scheduler retirement) should key on; *global*
+        completion is the coordinator's business (it sums
+        :attr:`local_done` across shards).
+        """
+        return self._done >= len(self.local_ranks)
 
     @property
     def finish_time(self) -> float:

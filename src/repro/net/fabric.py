@@ -99,3 +99,20 @@ class Fabric:
             return arrival
         self.sim.schedule_at(arrival, on_arrive, payload, priority=EventPriority.MESSAGE)
         return arrival
+
+    def transmit_remote(self, src_node: int, dst_node: int, nbytes: int) -> float:
+        """Account a message whose destination lives on another shard.
+
+        Charges this shard's send-side statistics and returns the arrival
+        time, but schedules nothing: the parallel-DES router carries the
+        payload to the owning shard, which schedules delivery there.  Wire
+        time is the same LogP expression as :meth:`transmit`, and since
+        ``dst_node`` is remote it is always ``>= latency_us`` — the
+        conservative lookahead :mod:`repro.sim.parallel` relies on.
+        """
+        if src_node == dst_node:
+            raise ValueError("cross-shard transmit cannot be node-internal")
+        wire = self.config.p2p_time(nbytes, same_node=False)
+        self.stats.messages += 1
+        self.stats.bytes += nbytes
+        return self.sim.now + wire

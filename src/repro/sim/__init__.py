@@ -14,5 +14,15 @@ function of its configuration and seed.
 """
 
 from repro.sim.core import Event, EventPriority, Simulator, SimulationError
+from repro.sim.meanfield import MeanFieldConfig
+from repro.sim.shard import ShardPlan, ShardRouter
 
-__all__ = ["Event", "EventPriority", "Simulator", "SimulationError"]
+__all__ = [
+    "Event",
+    "EventPriority",
+    "Simulator",
+    "SimulationError",
+    "MeanFieldConfig",
+    "ShardPlan",
+    "ShardRouter",
+]

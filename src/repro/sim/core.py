@@ -319,6 +319,59 @@ class Simulator:
         self.now = time
         return processed
 
+    def run_until_before(self, bound: float, max_events: Optional[int] = None) -> int:
+        """Run events with timestamps strictly ``< bound``; leave ``now`` at
+        *bound*.
+
+        The half-open-window counterpart of :meth:`run_until`, used by the
+        conservative parallel-DES driver (:mod:`repro.sim.parallel`): a
+        superstep may process everything before the safe horizon but must
+        leave events *at* the horizon untouched, because a cross-shard
+        message can still arrive exactly at the horizon instant with an
+        earlier tie-break priority.  Returns the number of events processed.
+        """
+        if bound < self.now:
+            raise SimulationError(
+                f"run_until_before({bound!r}) is in the past (now={self.now!r})"
+            )
+        processed = 0
+        heap = self._heap
+        heappop = heapq.heappop
+        while True:
+            if max_events is not None and processed >= max_events:
+                nxt = self.peek_time()
+                if nxt is not None and nxt < bound:
+                    raise SimulationError(f"exceeded max_events={max_events} before t={bound}")
+                break
+            ev = None
+            while heap:
+                entry = heap[0]
+                candidate = entry[3]
+                if candidate._cancelled:
+                    heappop(heap)
+                    continue
+                if entry[0] >= bound:
+                    break
+                heappop(heap)
+                self._live -= 1
+                ev = candidate
+                break
+            if ev is None:
+                break
+            # -- inline _fire(ev) --
+            self.now = ev.time
+            fn, args = ev.fn, ev.args
+            # Mark fired before invoking so re-entrant cancels are no-ops.
+            ev.fn = None
+            ev.args = ()
+            self._events_processed += 1
+            fn(*args)
+            if self.on_event is not None:
+                self.on_event()
+            processed += 1
+        self.now = bound
+        return processed
+
     def run(self, max_events: Optional[int] = None) -> int:
         """Run until the event queue drains.  Returns events processed."""
         processed = 0

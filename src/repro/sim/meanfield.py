@@ -1,0 +1,87 @@
+"""Mean-field fast path for background daemon noise.
+
+At White scale (512 nodes x 16 CPUs) the exact DES pays one SleepUntil
+wakeup plus one Compute completion per daemon activation on every node —
+millions of events that exist only to perturb the ranks' timing.  The
+mean-field path batches *B* consecutive activations of a daemon instance
+into a single wakeup that computes the **sum** of the B sampled service
+times, on nodes no trace consumer is watching.
+
+Crucially the batched body consumes its RNG stream in exactly the same
+per-activation order as the exact body (service draw, optional pagefault
+draw, jitter draw), so:
+
+* ``batch=1`` is **bit-identical** to the exact engine — the oracle
+  discipline: the fast path degenerates to the reference, not to an
+  approximation of it;
+* for ``batch>1`` the *set* of activation instants and service durations
+  is unchanged; only their interleaving with rank work coarsens (the B
+  activations execute back-to-back, anchored at the batch's *middle*
+  instant so the delivered CPU demand is timing-unbiased to first order,
+  instead of spread over B periods).  The accuracy cost of that clumping
+  is what experiment E14 measures.
+
+Nodes named in :attr:`MeanFieldConfig.exempt_nodes` (typically the traced
+node and rank 0's node) always run exact per-activation DES, so per-event
+trace attribution stays truthful where anyone is looking.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["MeanFieldConfig"]
+
+
+@dataclass(frozen=True)
+class MeanFieldConfig:
+    """How aggressively to batch background daemon activations.
+
+    Parameters
+    ----------
+    batch:
+        Activations folded into one wakeup+compute pair on non-exempt
+        nodes.  ``1`` disables batching (bit-identical to exact DES).
+    exempt_nodes:
+        Node ids that always run exact per-activation DES (traced nodes,
+        nodes hosting ranks whose timings are being measured).
+    max_block_us:
+        Cap on the expected service mass one batched wake may clump.  The
+        per-spec batch is derated to ``max_block_us / E[service]``, so a
+        heavy, infrequent daemon (syncd's 20 ms flushes) never turns into
+        one multi-hundred-ms favored-priority block that no real schedule
+        contains, while the high-frequency, tiny-service daemons that
+        dominate *event counts* (per-CPU interrupt handlers, mld) batch
+        fully.  Uncapped clumping is not a mild accuracy loss — it
+        front-loads seconds of daemon CPU into the measurement window and
+        the inflated run then accrues yet more noise (a positive feedback
+        the E14 calibration runs exhibited).
+    """
+
+    batch: int = 1
+    exempt_nodes: tuple[int, ...] = ()
+    max_block_us: float = 1000.0
+
+    def __post_init__(self) -> None:
+        if self.batch < 1:
+            raise ValueError(f"batch must be >= 1, got {self.batch}")
+        if any(n < 0 for n in self.exempt_nodes):
+            raise ValueError("exempt_nodes must be non-negative node ids")
+        if self.max_block_us <= 0:
+            raise ValueError(f"max_block_us must be > 0, got {self.max_block_us}")
+
+    def batch_for(self, node_id: int, spec=None) -> int:
+        """Batch factor for *node_id* (1 on exempt nodes).
+
+        With a :class:`~repro.config.DaemonSpec` *spec*, derates by the
+        expected per-activation service (including the expected page-fault
+        surcharge) so one wake's clump stays under :attr:`max_block_us`.
+        """
+        if node_id in self.exempt_nodes:
+            return 1
+        if spec is None:
+            return self.batch
+        mean_service = spec.service.mean() + spec.pagefault_prob * spec.pagefault_cost_us
+        if mean_service <= 0:
+            return self.batch
+        return max(1, min(self.batch, int(self.max_block_us / mean_service)))

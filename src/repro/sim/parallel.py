@@ -1,0 +1,475 @@
+"""Conservative parallel DES: shard the cluster across worker processes.
+
+The serial engine (:mod:`repro.sim.core`) stays the bit-identical
+reference oracle; this module adds a **conservative synchronous-window**
+parallel mode on top of it, in the classic null-message family (CMB):
+instead of per-channel null messages, a coordinator broadcasts the global
+lower bound every superstep — equivalent to each shard sending a null
+message carrying ``next_event_time + lookahead`` to every peer, with the
+coordinator folding the min.
+
+How a superstep works
+---------------------
+Each shard owns a contiguous block of cluster nodes (:class:`ShardPlan`)
+and runs an unmodified serial :class:`~repro.sim.core.Simulator` over the
+*full* cluster structure (non-owned nodes are built — construction
+schedules no events and fixes RNG draw order — but get no threads, so
+they are inert).  Cross-shard MPI sends become timestamped envelopes in a
+:class:`~repro.sim.shard.ShardRouter` outbox instead of local schedules.
+The coordinator repeats:
+
+1. collect each shard's next-event time and undelivered envelopes;
+2. ``N  = min(next-event times ∪ pending envelope arrivals)``
+   ``H' = N + L``  where ``L`` is the fabric's minimum cross-node wire
+   time (``NetworkConfig.latency_us`` — the LogP latency floor, since
+   ``p2p_time = latency + bytes·G ≥ latency`` for remote messages);
+3. deliver pending envelopes (sorted canonically by
+   ``(arrival, src_node, link_seq)``) and let every shard run events
+   strictly ``< H'`` in parallel (:meth:`Simulator.run_until_before`).
+
+Safety: every event fired in the window has ``t ≥ N``, so any message it
+sends arrives at ``t + L ≥ H'`` — outside the window — hence no shard can
+receive a message from the past.  Envelope arrivals are likewise
+``≥ H'``, so delivering them at the barrier (``now = H'``) never schedules
+into the past.
+
+Determinism: the window boundary sequence is a pure function of the
+global event stream, per-shard event order is the serial engine's total
+``(time, priority, seq)`` order, cross-shard deliveries are sorted
+canonically before scheduling, and all runtime randomness comes from
+shard-stable named streams (see :mod:`repro.sim.shard`).  Sharded runs
+therefore reproduce the serial oracle's **result digest byte-for-byte**
+— enforced by ``tests/test_parallel_des.py`` and the CI
+``parallel-des-smoke`` job.
+
+What sharded mode rejects (:func:`validate_sharded_config`): hardware
+collectives (the switch-combine path schedules cross-node arrivals at
+half a hop, under the lookahead), stochastic network faults / pipe loss /
+timesync loss (drawn from global event-order streams), and the
+retransmit layer (its acks would need their own channel).  Deterministic
+scheduled node/co-scheduler faults are supported — they are node-local
+with fixed firing times.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import importlib
+import multiprocessing
+import traceback
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.config import ClusterConfig
+from repro.results import canonical_dumps
+from repro.sim.meanfield import MeanFieldConfig
+from repro.sim.shard import ShardPlan, ShardRouter
+from repro.units import s
+
+__all__ = [
+    "ParallelRunResult",
+    "ShardPlan",
+    "ShardRouter",
+    "ShardSpec",
+    "run_parallel",
+    "validate_sharded_config",
+]
+
+
+def validate_sharded_config(config: ClusterConfig, n_shards: int) -> None:
+    """Reject configurations whose semantics cannot survive sharding.
+
+    Raises ``ValueError`` naming the offending knob.  Everything rejected
+    here either bypasses the fabric lookahead or draws from a global
+    stream in event order (not shard-stable); the serial engine remains
+    available for all of it.
+    """
+    if n_shards < 1:
+        raise ValueError(f"shards must be >= 1, got {n_shards}")
+    if n_shards == 1:
+        return
+    if n_shards > config.machine.n_nodes:
+        raise ValueError(
+            f"shards ({n_shards}) cannot exceed cluster nodes ({config.machine.n_nodes})"
+        )
+    if config.network.latency_us <= 0:
+        raise ValueError(
+            "sharded DES needs positive cross-node latency for lookahead; "
+            f"network.latency_us={config.network.latency_us}"
+        )
+    if config.mpi.algorithm == "hardware":
+        raise ValueError(
+            "mpi.algorithm='hardware' is not shardable: the switch-combine "
+            "path schedules cross-node arrivals at half a wire hop, under "
+            "the conservative lookahead; use the serial engine"
+        )
+    f = config.faults
+    if f.enabled:
+        if f.any_net_faults:
+            raise ValueError(
+                "stochastic network faults (msg_drop/dup/delay_prob) draw "
+                "from global event-order streams and are not shard-stable; "
+                "use the serial engine or scheduled node/cosched faults"
+            )
+        if f.pipe_loss_prob > 0:
+            raise ValueError("pipe_loss_prob draws in event order; not shardable")
+        if f.timesync_loss_at_us is not None:
+            raise ValueError(
+                "timesync loss makes runtime switch-clock reads draw in "
+                "event order; not shardable"
+            )
+        if f.retransmit_enabled:
+            raise ValueError(
+                "retransmit layer is not shardable (its acks bypass the "
+                "cross-shard channel); set FaultConfig.retransmit_enabled=False"
+            )
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """Everything one shard worker needs to build and drive its slice.
+
+    Picklable by construction (the app is a ``"module:attr"`` reference,
+    resolved inside the worker), so the same spec drives the in-process
+    host and the forked worker identically.
+    """
+
+    config: ClusterConfig
+    plan: ShardPlan
+    shard_id: int
+    n_ranks: int
+    tasks_per_node: int
+    app: str
+    app_params: dict = field(default_factory=dict)
+    meanfield: Optional[MeanFieldConfig] = None
+    job_name: str = "pdes"
+
+
+def _resolve_app(ref: str, params: dict):
+    """Resolve ``"module:attr"`` to the app provider and instantiate it.
+
+    The provider is called with *params* and must return an object with a
+    ``body_factory(rank, api)`` generator factory and a ``collect()``
+    returning ``{"ranks": {str(rank): jsonable}, "ok": bool}`` for the
+    ranks that ran locally.
+    """
+    mod_name, _, attr = ref.partition(":")
+    if not mod_name or not attr:
+        raise ValueError(f"app must be 'module:attr', got {ref!r}")
+    provider = getattr(importlib.import_module(mod_name), attr)
+    return provider(dict(params))
+
+
+class ShardHost:
+    """One shard, driven in-process (also the body of the forked worker).
+
+    Splitting :meth:`step_send` / :meth:`step_recv` lets the coordinator
+    issue the window to every shard before collecting any reply, so real
+    worker processes overlap; for the in-process host the work happens in
+    ``step_send`` and ``step_recv`` just returns it.
+    """
+
+    def __init__(self, spec: ShardSpec) -> None:
+        from repro.system import System  # deferred: System imports this package
+
+        validate_sharded_config(spec.config, spec.plan.n_shards)
+        self.spec = spec
+        self.app = _resolve_app(spec.app, spec.app_params)
+        self.system = System(
+            spec.config,
+            shard=(spec.shard_id, spec.plan),
+            meanfield=spec.meanfield,
+        )
+        self.router = self.system.cluster.router
+        self.job = self.system.launch(
+            spec.n_ranks,
+            spec.tasks_per_node,
+            self.app.body_factory,
+            name=spec.job_name,
+        )
+        self._pending = None
+
+    # -- superstep protocol -------------------------------------------
+    def ready(self) -> tuple:
+        """Initial report: ``(next_event_time, local_done, events)``."""
+        return (self.system.sim.peek_time(), self.job.local_done, 0)
+
+    def step_send(self, horizon: float, incoming: list[tuple]) -> None:
+        """Deliver *incoming* envelopes, then run the window ``[now, horizon)``."""
+        from repro.sim.core import EventPriority
+
+        sim = self.system.sim
+        router = self.router
+        # Canonical delivery order: (arrival, src_node, link_seq) is
+        # globally unique, so the schedule (and hence heap seq) order of
+        # same-instant cross-shard arrivals is shard-count independent.
+        for env in sorted(incoming, key=lambda e: e[:3]):
+            arrival, _src, _seq, world_uid, _dst, payload = env
+            router.received += 1
+            sim.schedule_at(
+                arrival,
+                router.deliver_target(world_uid),
+                payload,
+                priority=EventPriority.MESSAGE,
+            )
+        processed = sim.run_until_before(horizon)
+        self._pending = (
+            sim.peek_time(),
+            router.drain(),
+            self.job.local_done,
+            processed,
+        )
+
+    def step_recv(self) -> tuple:
+        """``(next_event_time, outbox, local_done, events_processed)``."""
+        out, self._pending = self._pending, None
+        return out
+
+    def collect(self) -> dict:
+        """Local results after the job's owned ranks all finished."""
+        return {
+            "app": self.app.collect(),
+            "finish_times": {str(r): t for r, t in sorted(self.job._finish_times.items())},
+            "start_time": self.job.start_time,
+            "events": self.system.sim.events_processed,
+            "sent": self.router.sent,
+            "received": self.router.received,
+        }
+
+    def close(self) -> None:
+        """Nothing to release in-process (symmetry with _ProcessHost)."""
+
+
+def _shard_worker_main(conn, spec: ShardSpec) -> None:
+    """Forked worker: serve the superstep protocol over a duplex pipe."""
+    try:
+        host = ShardHost(spec)
+        conn.send(("ready", host.ready()))
+        while True:
+            msg = conn.recv()
+            if msg[0] == "step":
+                host.step_send(msg[1], msg[2])
+                conn.send(("state", host.step_recv()))
+            elif msg[0] == "collect":
+                conn.send(("result", host.collect()))
+            elif msg[0] == "exit":
+                return
+            else:  # pragma: no cover - protocol bug
+                raise RuntimeError(f"unknown directive {msg[0]!r}")
+    except BaseException:
+        try:
+            conn.send(("error", traceback.format_exc()))
+        except (BrokenPipeError, OSError):  # pragma: no cover - parent died
+            pass
+    finally:
+        conn.close()
+
+
+class _ProcessHost:
+    """Pipe-and-fork wrapper presenting the :class:`ShardHost` protocol."""
+
+    def __init__(self, spec: ShardSpec, ctx) -> None:
+        self.conn, child = ctx.Pipe(duplex=True)
+        self.proc = ctx.Process(
+            target=_shard_worker_main, args=(child, spec), daemon=True
+        )
+        self.proc.start()
+        child.close()
+        self._ready = self._recv("ready")
+
+    def _recv(self, expect: str):
+        kind, payload = self.conn.recv()
+        if kind == "error":
+            raise RuntimeError(f"shard worker failed:\n{payload}")
+        if kind != expect:  # pragma: no cover - protocol bug
+            raise RuntimeError(f"expected {expect!r} from worker, got {kind!r}")
+        return payload
+
+    def ready(self) -> tuple:
+        return self._ready
+
+    def step_send(self, horizon: float, incoming: list[tuple]) -> None:
+        self.conn.send(("step", horizon, incoming))
+
+    def step_recv(self) -> tuple:
+        return self._recv("state")
+
+    def collect(self) -> dict:
+        self.conn.send(("collect", None))
+        return self._recv("result")
+
+    def close(self) -> None:
+        try:
+            self.conn.send(("exit", None))
+        except (BrokenPipeError, OSError):
+            pass
+        self.conn.close()
+        self.proc.join(timeout=30)
+        if self.proc.is_alive():  # pragma: no cover - hung worker
+            self.proc.terminate()
+            self.proc.join(timeout=5)
+
+
+@dataclass
+class ParallelRunResult:
+    """Merged outcome of one sharded run.
+
+    ``digest`` covers only shard-count-invariant result data (per-rank
+    series, correctness flag, job timing) — per-shard event counts and
+    superstep counts are reported for inspection but excluded, because a
+    shard whose ranks finish early retires its co-scheduler earlier than
+    the serial schedule would, which shifts background-only events
+    without touching any rank-visible timing.
+    """
+
+    shards: int
+    n_ranks: int
+    elapsed_us: float
+    ranks: dict
+    ok: bool
+    events_per_shard: list[int]
+    messages_crossed: int
+    supersteps: int
+    lookahead_us: float
+    wall_s: float = 0.0
+
+    @property
+    def events_total(self) -> int:
+        return sum(self.events_per_shard)
+
+    def digest_payload(self) -> dict:
+        """The rank-visible outcome — the part that is shard-count
+        invariant by construction (per-shard event counts are not:
+        shard-local job completion retires background threads on a
+        different schedule than the serial global-done order)."""
+        return {
+            "n_ranks": self.n_ranks,
+            "ranks": self.ranks,
+            "ok": self.ok,
+            "elapsed_us": self.elapsed_us,
+        }
+
+    @property
+    def digest(self) -> str:
+        return hashlib.sha256(
+            canonical_dumps(self.digest_payload()).encode()
+        ).hexdigest()
+
+
+def run_parallel(
+    config: ClusterConfig,
+    n_ranks: int,
+    tasks_per_node: int,
+    app: str,
+    app_params: Optional[dict] = None,
+    shards: int = 1,
+    horizon_us: float = s(600),
+    meanfield: Optional[MeanFieldConfig] = None,
+    use_processes: Optional[bool] = None,
+    job_name: str = "pdes",
+) -> ParallelRunResult:
+    """Run *app* over *config* with the cluster sharded *shards* ways.
+
+    ``use_processes=None`` forks real workers when ``shards > 1`` and
+    runs in-process for ``shards == 1``; pass ``False`` to drive every
+    shard in-process (identical event semantics — the processes are a
+    wall-clock lever, not a correctness one — and what the hypothesis
+    equivalence suite uses to keep hundreds of examples cheap).
+    """
+    validate_sharded_config(config, shards)
+    plan = ShardPlan(n_nodes=config.machine.n_nodes, n_shards=shards)
+    lookahead = config.network.latency_us
+    app_params = app_params or {}
+    specs = [
+        ShardSpec(
+            config=config,
+            plan=plan,
+            shard_id=sid,
+            n_ranks=n_ranks,
+            tasks_per_node=tasks_per_node,
+            app=app,
+            app_params=app_params,
+            meanfield=meanfield,
+            job_name=job_name,
+        )
+        for sid in range(shards)
+    ]
+    if use_processes is None:
+        use_processes = shards > 1
+    import time as _time
+
+    wall0 = _time.perf_counter()
+    if use_processes:
+        try:
+            ctx = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX
+            ctx = multiprocessing.get_context("spawn")
+        hosts: list = [_ProcessHost(sp, ctx) for sp in specs]
+    else:
+        hosts = [ShardHost(sp) for sp in specs]
+
+    try:
+        next_ts: list[Optional[float]] = []
+        done = []
+        events = [0] * shards
+        for h in hosts:
+            nt, dn, ev = h.ready()
+            next_ts.append(nt)
+            done.append(dn)
+        pending: list[list[tuple]] = [[] for _ in range(shards)]
+        supersteps = 0
+        crossed = 0
+        while sum(done) < n_ranks:
+            candidates = [t for t in next_ts if t is not None]
+            candidates += [env[0] for envs in pending for env in envs]
+            if not candidates:
+                raise RuntimeError(
+                    f"parallel deadlock: {sum(done)}/{n_ranks} ranks finished "
+                    "with no pending events or messages"
+                )
+            frontier = min(candidates)
+            if frontier >= horizon_us:
+                raise RuntimeError(
+                    f"job {job_name!r} incomplete at horizon {horizon_us}: "
+                    f"{sum(done)}/{n_ranks} ranks finished"
+                )
+            window = frontier + lookahead
+            for sid, h in enumerate(hosts):
+                h.step_send(window, pending[sid])
+                pending[sid] = []
+            for sid, h in enumerate(hosts):
+                nt, outbox, dn, _proc = h.step_recv()
+                next_ts[sid] = nt
+                done[sid] = dn
+                for env in outbox:
+                    pending[plan.shard_of(env[4])].append(env)
+                    crossed += 1
+            supersteps += 1
+
+        merged_ranks: dict = {}
+        ok = True
+        finish = []
+        start = []
+        for sid, h in enumerate(hosts):
+            res = h.collect()
+            merged_ranks.update(res["app"]["ranks"])
+            ok = ok and res["app"]["ok"]
+            finish.extend(res["finish_times"].values())
+            start.append(res["start_time"])
+            events[sid] = res["events"]
+    finally:
+        for h in hosts:
+            h.close()
+
+    return ParallelRunResult(
+        shards=shards,
+        n_ranks=n_ranks,
+        elapsed_us=max(finish) - min(start),
+        ranks=merged_ranks,
+        ok=ok,
+        events_per_shard=events,
+        messages_crossed=crossed,
+        supersteps=supersteps,
+        lookahead_us=lookahead,
+        wall_s=_time.perf_counter() - wall0,
+    )

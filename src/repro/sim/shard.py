@@ -1,0 +1,153 @@
+"""Shard topology and the cross-shard message router.
+
+Leaf module (stdlib only) so :class:`~repro.machine.cluster.Cluster` can
+carry a router without importing the parallel-DES driver; the driver
+itself lives in :mod:`repro.sim.parallel`.
+
+Shard-stable RNG stream naming (the contract parallel DES rests on)
+-------------------------------------------------------------------
+Every shard builds the **full** cluster (construction schedules no
+events, so non-owned nodes are inert), which fixes the construction-time
+draw order (``machine.clock``, ``machine.tickphase``, ``switch.clock``)
+identically on every shard.  All *runtime* randomness is drawn from
+streams named per entity, never from a shared event-order-dependent
+stream:
+
+* ``kernel.lottery.n<node>`` — lottery dispatch (kernel/policy.py)
+* ``daemon.<name>.n<node>.c<cpu>`` — daemon service/jitter draws
+* ``daemon.<name>.phase`` — one aligned-phase draw at install time
+
+:class:`repro.rng.StreamFactory` derives each stream from the seed and
+the CRC32 of its name — independent of creation order — so a stream
+draws identically regardless of which shard owns the node, and identically
+whether or not the sibling nodes' streams were ever created.  Global
+event-order streams (``faults.net.*``, runtime ``switch.clock`` reads)
+are **not** shard-stable, which is why stochastic network faults and
+timesync loss are rejected in sharded mode (see
+:func:`repro.sim.parallel.validate_sharded_config`).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Callable
+
+__all__ = ["ShardPlan", "ShardRouter"]
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """Contiguous block partition of cluster nodes across shards.
+
+    ``shard_of(node) = node * n_shards // n_nodes`` — blocks differ in
+    size by at most one node, and block placement keeps a job's
+    consecutive ranks (``node = rank // tpn``) on as few shards as the
+    partition allows.
+    """
+
+    n_nodes: int
+    n_shards: int
+
+    def __post_init__(self) -> None:
+        if self.n_nodes < 1:
+            raise ValueError(f"n_nodes must be >= 1, got {self.n_nodes}")
+        if not 1 <= self.n_shards <= self.n_nodes:
+            raise ValueError(
+                f"n_shards must be in 1..{self.n_nodes} (n_nodes), got {self.n_shards}"
+            )
+
+    def shard_of(self, node: int) -> int:
+        """Shard owning *node*."""
+        if not 0 <= node < self.n_nodes:
+            raise ValueError(f"node {node} out of range 0..{self.n_nodes - 1}")
+        return node * self.n_shards // self.n_nodes
+
+    def nodes_of(self, shard: int) -> range:
+        """The contiguous node block owned by *shard*."""
+        if not 0 <= shard < self.n_shards:
+            raise ValueError(f"shard {shard} out of range 0..{self.n_shards - 1}")
+        # First node n with n * S // N == shard, i.e. ceil(shard * N / S).
+        lo = -(-shard * self.n_nodes // self.n_shards)
+        hi = -(-(shard + 1) * self.n_nodes // self.n_shards)
+        return range(lo, hi)
+
+
+class ShardRouter:
+    """Per-shard outbox for cross-shard message traffic.
+
+    A message whose destination node lives on another shard is not
+    scheduled locally; the sender appends a timestamped **envelope** to
+    the outbox and the coordinator routes it to the owning shard at the
+    next superstep barrier.  Envelopes are plain tuples
+
+        ``(arrival_time, src_node, link_seq, world_uid, dst_node, payload)``
+
+    whose first three fields are globally unique (a node belongs to
+    exactly one shard, and ``link_seq`` is per-shard monotone), so the
+    receiving shard can sort incoming envelopes canonically and schedule
+    their delivery in an order independent of shard count.
+
+    ``world_uid`` names the delivery target: every :class:`MpiWorld`
+    registers its arrival callback at construction, and worlds are
+    constructed in launch order on **every** shard, so uids agree across
+    shards without any name exchange.
+    """
+
+    def __init__(self, plan: ShardPlan, shard_id: int) -> None:
+        if not 0 <= shard_id < plan.n_shards:
+            raise ValueError(f"shard_id {shard_id} out of range 0..{plan.n_shards - 1}")
+        self.plan = plan
+        self.shard_id = shard_id
+        self.outbox: list[tuple] = []
+        self.sent = 0
+        self.received = 0
+        self._link_seq = itertools.count()
+        self._worlds: list[Callable[[Any], None]] = []
+
+    def owns(self, node: int) -> bool:
+        """True when this shard simulates *node*."""
+        return self.plan.shard_of(node) == self.shard_id
+
+    def register(self, deliver: Callable[[Any], None]) -> int:
+        """Register a delivery callback; returns its cross-shard uid."""
+        self._worlds.append(deliver)
+        return len(self._worlds) - 1
+
+    def deliver_target(self, world_uid: int) -> Callable[[Any], None]:
+        """Callback registered under *world_uid* (receive side)."""
+        return self._worlds[world_uid]
+
+    def emit(
+        self,
+        arrival_time: float,
+        src_node: int,
+        world_uid: int,
+        dst_node: int,
+        payload: Any,
+    ) -> None:
+        """Queue one cross-shard message envelope (send side)."""
+        self.sent += 1
+        self.outbox.append(
+            (arrival_time, src_node, next(self._link_seq), world_uid, dst_node, payload)
+        )
+
+    def drain(self) -> list[tuple]:
+        """Take and clear the pending outbox (one superstep's sends)."""
+        out, self.outbox = self.outbox, []
+        return out
+
+    def snapshot_state(self, desc) -> dict:
+        """Checkpoint view: topology, counters, undelivered envelopes."""
+        return {
+            "shard_id": self.shard_id,
+            "n_shards": self.plan.n_shards,
+            "n_nodes": self.plan.n_nodes,
+            "sent": self.sent,
+            "received": self.received,
+            "worlds": len(self._worlds),
+            "outbox": [
+                [arrival, src, seq, uid, dst, desc.value(payload)]
+                for arrival, src, seq, uid, dst, payload in self.outbox
+            ],
+        }

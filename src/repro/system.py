@@ -46,6 +46,12 @@ class System:
         (applications with I/O phases need one).
     io_priority:
         Priority of the I/O worker daemons (paper: mmfsd at 40).
+    shard:
+        ``(shard_id, ShardPlan)`` under parallel DES
+        (:mod:`repro.sim.parallel`); installs only the owned node block.
+    meanfield:
+        Optional :class:`~repro.sim.meanfield.MeanFieldConfig` batching
+        background daemon activations on unwatched nodes.
     """
 
     def __init__(
@@ -55,15 +61,26 @@ class System:
         trace: Optional[TraceRecorder] = None,
         with_io: bool = False,
         io_priority: int = 40,
+        shard: Optional[tuple] = None,
+        meanfield=None,
     ) -> None:
         self.config = config
-        self.cluster = Cluster(config, trace=trace)
+        self.cluster = Cluster(config, trace=trace, shard=shard)
         self.daemons: list[DaemonHandle] = install_noise(
-            self.cluster, noise if noise is not None else config.noise
+            self.cluster,
+            noise if noise is not None else config.noise,
+            meanfield=meanfield,
         )
         self.io_services: list[Optional[IoService]] = []
         if with_io:
-            self.io_services = [IoService(node, priority=io_priority) for node in self.cluster.nodes]
+            # Rank-indexed wiring stays positional; non-owned nodes (parallel
+            # DES) get None so no worker daemon is spawned on an inert replica.
+            self.io_services = [
+                IoService(node, priority=io_priority)
+                if self.cluster.owns_node(node.id)
+                else None
+                for node in self.cluster.nodes
+            ]
         self.coscheds: list[JobCoscheduler] = []
         #: Every job ever launched, in launch order (checkpoint walk).
         self.jobs: list[MpiJob] = []
