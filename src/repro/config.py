@@ -262,9 +262,43 @@ class NetworkConfig:
     #: (the paper's future-work item §7): once every rank's contribution
     #: has arrived, the fabric reduces and fans the result back out.
     hw_collective_latency_us: float = us(12)
+    #: Scheduled cross-node latency changes: ``((at_us, latency_us), ...)``,
+    #: sorted by time.  From ``at_us`` on, remote wire latency is the new
+    #: value (degraded or repaired links).  The parallel-DES coordinator
+    #: derives its per-window lookahead from this schedule, so changes must
+    #: keep latency positive.
+    latency_changes: tuple = ()
+
+    def __post_init__(self) -> None:
+        prev = -1.0
+        for entry in self.latency_changes:
+            at_us, lat = entry
+            if at_us <= prev:
+                raise ValueError(
+                    f"latency_changes must be sorted by strictly increasing time, got {self.latency_changes}"
+                )
+            if lat <= 0:
+                raise ValueError(f"latency change to {lat}us at {at_us}us: latency must stay > 0")
+            prev = at_us
+
+    def latency_at(self, t: float) -> float:
+        """Remote wire latency in force at simulated time *t*."""
+        if not self.latency_changes:
+            return self.latency_us
+        lat = self.latency_us
+        for at_us, new_lat in self.latency_changes:
+            if at_us <= t:
+                lat = new_lat
+            else:
+                break
+        return lat
 
     def p2p_time(self, nbytes: int, same_node: bool) -> float:
-        """Wire time for a message of *nbytes* (excludes CPU overheads)."""
+        """Wire time for a message of *nbytes* (excludes CPU overheads).
+
+        Uses the *base* remote latency; time-dependent callers (the
+        fabric) go through :meth:`latency_at` instead.
+        """
         lat = self.shm_latency_us if same_node else self.latency_us
         return lat + nbytes * self.per_byte_us
 

@@ -331,7 +331,7 @@ class JobCoscheduler:
         for rank in job.local_ranks:
             nc = self.node_coscheds[job.placement.node_of(rank)]
             task = job.world.rank_threads[rank]
-            self._pipe_send(nc.pipe_register, task)
+            self._pipe_send(nc, nc.pipe_register, task)
             job.apis[rank].cosched_control = _ControlPipe(self, rank)
         # Poll for job completion so node daemons can exit.
         self._watch_job()
@@ -343,9 +343,13 @@ class JobCoscheduler:
             return
         self.cluster.sim.schedule(self.config.period_us / 4.0, self._watch_job)
 
-    def _pipe_send(self, method, task: Thread) -> None:
-        """Deliver one control-pipe message (subject to injected loss)."""
-        if self.pipe_filter is not None and not self.pipe_filter():
+    def _pipe_send(self, nc: NodeCoscheduler, method, task: Thread) -> None:
+        """Deliver one control-pipe message (subject to injected loss).
+
+        *nc* names the node daemon the pipe belongs to, so the loss hook
+        can draw from that node's own fault stream.
+        """
+        if self.pipe_filter is not None and not self.pipe_filter(nc.node.id):
             return
         self.cluster.sim.schedule(self.config.pipe_latency_us, method, task)
 
@@ -353,7 +357,7 @@ class JobCoscheduler:
         nc = self.node_coscheds[self.job.placement.node_of(rank)]
         task = self.job.world.rank_threads[rank]
         method = nc.pipe_detach if kind == "detach" else nc.pipe_attach
-        self._pipe_send(method, task)
+        self._pipe_send(nc, method, task)
 
     def snapshot_state(self, desc) -> dict:
         """Checkpoint view: restart count plus every node daemon's state."""
@@ -400,5 +404,5 @@ class JobCoscheduler:
             nc.job_finished()
         for task in self.node_tasks(node_id):
             if task.state is not ThreadState.FINISHED:
-                self._pipe_send(nc.pipe_register, task)
+                self._pipe_send(nc, nc.pipe_register, task)
         return nc

@@ -12,6 +12,9 @@
     repro-experiments e9 --quick          # crash/restart round-trip check
     repro-experiments chaos --quick --seeds 8 --jobs 2   # fault fuzzing
     repro-experiments chaos --quick --policy quantum     # pin the campaign
+    repro-experiments chaos --quick --seeds 4 --shards 2 # sharded-vs-serial digests
+    repro-experiments chaos --quick --shards 2 --harness-chaos 7  # + worker kills
+    repro-experiments resilience --shards 2              # E8 under parallel DES
     repro-experiments policy --quick --jobs 4            # E13 policy ablation
     repro-experiments policy --policy aix --policy fair  # subset of the zoo
 
@@ -207,13 +210,15 @@ def main(argv: list[str] | None = None) -> int:
         "--corpus-out", metavar="DIR",
         help="chaos: write minimized failing schedules to DIR as corpus JSON",
     )
-    pdes_group = parser.add_argument_group("parallel DES (pdes / E14)")
+    pdes_group = parser.add_argument_group("parallel DES (pdes / chaos / resilience)")
     pdes_group.add_argument(
-        "--shards", type=int, metavar="N", default=1,
-        help="pdes: partition the cluster's nodes across N shard "
-             "processes synchronized by conservative null-message "
-             "windows (default: 1); the result digest is shard-count "
-             "invariant by construction",
+        "--shards", type=int, metavar="N", default=None,
+        help="partition the cluster's nodes across N shard processes "
+             "synchronized by conservative null-message windows "
+             "(default: serial); the result digest is shard-count "
+             "invariant by construction.  'pdes': run sharded; 'chaos': "
+             "judge every seed by sharded-vs-serial digest equality; "
+             "'resilience': run the whole E8 suite under parallelism",
     )
     pdes_group.add_argument(
         "--meanfield", type=int, metavar="B", default=0,
@@ -245,7 +250,7 @@ def main(argv: list[str] | None = None) -> int:
             parser.error("chaos accepts a single --policy to pin the campaign to")
     if args.jobs < 1:
         parser.error("--jobs must be >= 1")
-    if args.shards < 1:
+    if args.shards is not None and args.shards < 1:
         parser.error("--shards must be >= 1")
     if args.meanfield < 0:
         parser.error("--meanfield must be >= 0")
@@ -257,10 +262,16 @@ def main(argv: list[str] | None = None) -> int:
         parser.error("--backoff must be >= 0")
     if args.harness_chaos is not None and (
         args.jobs < 2 or args.backend != "supervised"
+    ) and not (
+        args.shards is not None
+        and args.shards >= 1
+        and any(e in ("chaos", "pdes") for e in args.experiments)
     ):
         parser.error(
             "--harness-chaos needs --jobs >= 2 on the supervised backend "
-            "(only it can retry killed workers)"
+            "(only it can retry killed workers), or --shards with the "
+            "chaos/pdes experiments (where it SIGKILLs shard workers and "
+            "the parallel-DES supervisor must recover them)"
         )
 
     journal = None
@@ -421,6 +432,8 @@ def _run_selected(wanted, args, qa, harness, csv_out, save_json) -> int:
             print(format_misalignment(run_misalignment()))
         elif name == "resilience":
             rqa = {"n_ranks": 16, "calls": 1000} if args.quick else {}
+            if args.shards is not None:
+                rqa["shards"] = args.shards
             res = run_resilience(**rqa, **harness)
             print(format_resilience(res))
             save_json("resilience", res)
@@ -458,6 +471,10 @@ def _run_selected(wanted, args, qa, harness, csv_out, save_json) -> int:
                 shrink_budget=args.shrink_budget,
                 corpus_out=args.corpus_out,
                 policy=args.policy[0] if args.policy else None,
+                shards=args.shards,
+                shard_chaos=(
+                    args.harness_chaos if args.shards is not None else None
+                ),
                 **harness,
             )
             print(format_chaos(res))
@@ -508,9 +525,12 @@ def _run_selected(wanted, args, qa, harness, csv_out, save_json) -> int:
             from repro.experiments.pdes import format_pdes, run_pdes
 
             res = run_pdes(
-                shards=args.shards,
+                shards=args.shards or 1,
                 quick=args.quick,
                 meanfield_batch=args.meanfield,
+                shard_chaos_seed=(
+                    args.harness_chaos if args.shards is not None else None
+                ),
             )
             print(format_pdes(res))
             save_json("pdes", res)

@@ -46,6 +46,9 @@ class PdesResult:
     elapsed_us: float
     ok: bool
     wall_s: float
+    #: Shard-worker crash/hang recoveries (respawn + replay); an
+    #: execution-substrate fact, excluded from the digest.
+    recoveries: int = 0
 
 
 def run_pdes(
@@ -54,8 +57,18 @@ def run_pdes(
     meanfield_batch: int = 0,
     seed: int = 1234,
     use_processes: bool | None = None,
+    shard_chaos_seed: int | None = None,
 ) -> PdesResult:
-    """Run the fig4-style workload under *shards*-way parallel DES."""
+    """Run the fig4-style workload under *shards*-way parallel DES.
+
+    *shard_chaos_seed* arms the ``harness.shard.kill`` axis: shard
+    workers are SIGKILLed on their deterministic plans and recovered by
+    respawn + replay — the printed digest must still match a clean run's
+    (the CI ``shard-chaos-smoke`` recovery check).  Forces forked
+    workers, since in-process shards have nothing to kill.
+    """
+    if shard_chaos_seed is not None and use_processes is None:
+        use_processes = True
     if quick:
         n_ranks, calls = 64, 8
     else:
@@ -86,6 +99,8 @@ def run_pdes(
         horizon_us=s(600),
         meanfield=meanfield,
         use_processes=use_processes,
+        shard_chaos_seed=shard_chaos_seed,
+        respawn_backoff_s=0.01 if shard_chaos_seed is not None else 0.05,
     )
     wall = time.perf_counter() - t0
     return PdesResult(
@@ -102,6 +117,7 @@ def run_pdes(
         elapsed_us=r.elapsed_us,
         ok=r.ok,
         wall_s=wall,
+        recoveries=r.recoveries,
     )
 
 
@@ -116,7 +132,12 @@ def format_pdes(res: PdesResult) -> str:
         f"  supersteps   : {res.supersteps} "
         f"(lookahead {res.lookahead_us:g} us, "
         f"{res.messages_crossed} cross-shard messages)\n"
-        f"  sim elapsed  : {res.elapsed_us / 1e3:.1f} ms   "
+        + (
+            f"  recoveries   : {res.recoveries} shard-worker respawns\n"
+            if res.recoveries
+            else ""
+        )
+        + f"  sim elapsed  : {res.elapsed_us / 1e3:.1f} ms   "
         f"wall {res.wall_s:.1f} s   values {'OK' if res.ok else 'BAD'}\n"
         f"  digest       : {res.digest}"
     )

@@ -100,6 +100,9 @@ def _resilience_trial(params: dict) -> dict:
     calls = params["calls"]
     seed = params["seed"]
     time_compression = params["time_compression"]
+    #: >1 routes the scenario through conservative parallel DES — same
+    #: model, sharded execution; means and counters must not move.
+    shards = params.get("shards", 1)
 
     noise = scale_noise(standard_noise(include_cron=False), time_compression)
     period = s(5) / time_compression
@@ -107,14 +110,14 @@ def _resilience_trial(params: dict) -> dict:
     # Watchdog cadence scaled to the compressed co-scheduler period.
     wd_interval = period / 2.0
 
-    def build(sync: bool, faults: FaultConfig) -> System:
+    def make_cfg(sync: bool, faults: FaultConfig) -> ClusterConfig:
         cos = CoschedConfig(enabled=True, period_us=period, duty_cycle=0.90, sync_clock=sync)
         kernel = KernelConfig.prototype(big_tick=big_tick)
         if not sync:
             # Without synchronised clocks, cluster-wide tick alignment is
             # fictional too (same rule as E4).
             kernel = kernel.with_options(align_ticks_to_global_time=False)
-        cfg = ClusterConfig(
+        return ClusterConfig(
             machine=MachineConfig(n_nodes=-(-n_ranks // tpn), cpus_per_node=tpn),
             kernel=kernel,
             cosched=cos,
@@ -123,7 +126,9 @@ def _resilience_trial(params: dict) -> dict:
             faults=faults,
             seed=seed,
         )
-        return System(cfg)
+
+    def build(sync: bool, faults: FaultConfig) -> System:
+        return System(make_cfg(sync, faults))
 
     def run(system: System, n_calls: int = calls) -> float:
         res = run_aggregate_trace(
@@ -134,12 +139,49 @@ def _resilience_trial(params: dict) -> dict:
         )
         return res.mean_us
 
+    def run_sharded(cfg: ClusterConfig, n_calls: int = calls):
+        """Same scenario through run_parallel; returns (mean_us, counters).
+
+        The mean is rank 0's per-call mean — exactly what the serial
+        path's ``mean_us`` is — and the counters are the summed per-shard
+        fault/resilience counters, both shard-count invariant."""
+        import multiprocessing
+
+        import numpy as np
+
+        from repro.sim.parallel import run_parallel
+
+        res = run_parallel(
+            cfg,
+            n_ranks=n_ranks,
+            tasks_per_node=tpn,
+            app="repro.apps.aggregate_trace:sharded_app",
+            app_params=dict(
+                loops=1, calls_per_loop=n_calls, trace_block=32,
+                compute_between_us=200.0, payload_bytes=8, record_nodes=(0,),
+            ),
+            shards=shards,
+            # Inside a daemonic trial worker, drive shards in-process
+            # (identical event semantics; forking is a wall-clock lever).
+            use_processes=(
+                False if multiprocessing.current_process().daemon else None
+            ),
+            job_name="resilience",
+        )
+        if not res.ok:
+            raise RuntimeError(f"sharded {scenario!r} run produced bad values")
+        return float(np.mean(res.ranks["0"])), res.counters
+
     if scenario == "healthy":
         # Healthy co-scheduled run (no faults installed at all).
+        if shards > 1:
+            return {"mean_us": run_sharded(make_cfg(True, FaultConfig()))[0]}
         return {"mean_us": run(build(sync=True, faults=FaultConfig()))}
 
     if scenario == "uncoordinated":
         # Uncoordinated baseline: windows never aligned (E4's pathology).
+        if shards > 1:
+            return {"mean_us": run_sharded(make_cfg(False, FaultConfig()))[0]}
         return {"mean_us": run(build(sync=False, faults=FaultConfig()))}
 
     if scenario == "degraded":
@@ -155,6 +197,12 @@ def _resilience_trial(params: dict) -> dict:
             clock_drift_rate=1e-4,
             watchdog_interval_us=wd_interval,
         )
+        if shards > 1:
+            mean, counters = run_sharded(make_cfg(True, faults))
+            return {
+                "mean_us": mean,
+                "degradation_events": counters["degradation_events"],
+            }
         system = build(sync=True, faults=faults)
         mean = run(system)
         degradations = sum(
@@ -171,6 +219,17 @@ def _resilience_trial(params: dict) -> dict:
             retransmit_max_timeout_us=ms(16),
             watchdog_interval_us=wd_interval,
         )
+        if shards > 1:
+            mean, counters = run_sharded(
+                make_cfg(True, faults), n_calls=max(100, calls // 3)
+            )
+            return {
+                "mean_us": mean,
+                "retransmits": counters["retransmits"],
+                "forced": counters["forced"],
+                "duplicates_dropped": counters["duplicates_dropped"],
+                "net_drops": counters["net_drops"],
+            }
         system = build(sync=True, faults=faults)
         mean = run(system, n_calls=max(100, calls // 3))
         transport = system.coscheds[0].job.world.reliability
@@ -194,6 +253,9 @@ def _resilience_trial(params: dict) -> dict:
             ),
             watchdog_interval_us=wd_interval,
         )
+        if shards > 1:
+            mean, counters = run_sharded(make_cfg(True, faults))
+            return {"mean_us": mean, "restarts": counters["watchdog_restarts"]}
         system = build(sync=True, faults=faults)
         mean = run(system)
         restarts = sum(wd.restarts for wd in system.injector.watchdogs)
@@ -215,6 +277,7 @@ def run_resilience(
     journal=None,
     trial_timeout_s: Optional[float] = None,
     jobs: int = 1,
+    shards: int = 1,
 ) -> ResilienceResult:
     """Run the five scenarios (healthy, timesync loss, uncoordinated
     baseline, message loss, daemon death) on identically seeded systems.
@@ -224,11 +287,17 @@ def run_resilience(
     comparison measures tick-phase artifacts instead of coordination.
     Each scenario is one :class:`~repro.experiments.runner.TrialSpec`, so
     ``jobs=5`` runs them concurrently with identical results.
+
+    ``shards > 1`` runs every scenario under conservative parallel DES —
+    the whole E8 fault/resilience suite with one flag.  Sharding is an
+    execution strategy, not a model change, so the table must not move;
+    journal keys carry ``-sh<N>`` so serial and sharded records coexist.
     """
     runner = TrialRunner(jobs=jobs, journal=journal, trial_timeout_s=trial_timeout_s)
     specs = [
         TrialSpec(
-            key=f"resilience-{name}-n{n_ranks}-s{seed}",
+            key=f"resilience-{name}-n{n_ranks}-s{seed}"
+            + (f"-sh{shards}" if shards > 1 else ""),
             fn="repro.experiments.resilience:_resilience_trial",
             params=dict(
                 scenario=name,
@@ -237,6 +306,7 @@ def run_resilience(
                 calls=calls,
                 seed=seed,
                 time_compression=time_compression,
+                **({"shards": shards} if shards > 1 else {}),
             ),
         )
         for name in _SCENARIOS

@@ -42,25 +42,34 @@ class NetFaultPlane:
     ``plan(src, dst, nbytes)`` returns the extra latencies at which copies
     of the message should arrive: ``(0.0,)`` is clean delivery, ``()`` a
     drop, two entries a duplication.  Node-internal (shared-memory)
-    transfers are never faulted.  Each fault type draws from its own
-    dedicated stream (``faults.net.drop`` / ``faults.net.delay`` /
-    ``faults.net.dup``), and only when its probability is non-zero — so a
-    given config replays identically *and* enabling one fault type cannot
-    reshuffle another type's draws (the stream-ordering contract the
-    hypothesis property test in ``tests/test_faults.py`` pins; chaos
-    shrinking relies on it to vary one axis at a time).
+    transfers are never faulted.
 
-    *rngs* maps ``{"drop": g, "delay": g, "dup": g}`` to the per-type
-    generators.
+    Draws come from **per-link, per-type** named streams
+    (``faults.net.<kind>.<src>-><dst>`` for each ordered node pair),
+    created lazily on first use of the link.  Two contracts ride on this
+    naming:
+
+    * enabling one fault type cannot reshuffle another type's draws, and
+      traffic on one link cannot reshuffle another link's draws (the
+      stream-ordering contracts the hypothesis property tests in
+      ``tests/test_faults.py`` pin; chaos shrinking relies on the former
+      to vary one axis at a time);
+    * every draw for link ``src->dst`` happens inside an event on node
+      ``src``, whose local event order the serial engine fixes — so the
+      decision sequence is **shard-stable**: independent of how nodes are
+      partitioned across parallel-DES shards (the contract
+      :mod:`repro.sim.parallel` rests on).
+
+    *rngf* is a :class:`repro.rng.StreamFactory` (anything with a
+    ``stream(name)`` method).
     """
 
-    def __init__(self, sim, config: FaultConfig, rngs: dict, stats) -> None:
+    def __init__(self, sim, config: FaultConfig, rngf, stats) -> None:
         self.sim = sim
         self.config = config
-        self.rng_drop = rngs["drop"]
-        self.rng_delay = rngs["delay"]
-        self.rng_dup = rngs["dup"]
+        self.rngf = rngf
         self.stats = stats
+        self._link_rngs: dict[tuple, object] = {}
         self.drops = 0
         self.dups = 0
         self.delays = 0
@@ -68,6 +77,14 @@ class NetFaultPlane:
     def snapshot_state(self, desc) -> dict:
         """Checkpoint view: fault decision counters."""
         return {"drops": self.drops, "dups": self.dups, "delays": self.delays}
+
+    def _rng(self, kind: str, src_node: int, dst_node: int):
+        key = (kind, src_node, dst_node)
+        rng = self._link_rngs.get(key)
+        if rng is None:
+            rng = self.rngf.stream(f"faults.net.{kind}.{src_node}->{dst_node}")
+            self._link_rngs[key] = rng
+        return rng
 
     def plan(self, src_node: int, dst_node: int, nbytes: int) -> tuple:
         """Decide this message's fate; see the class docstring."""
@@ -77,16 +94,22 @@ class NetFaultPlane:
         lo, hi = cfg.net_window_us
         if not lo <= self.sim.now <= hi:
             return (0.0,)
-        if cfg.msg_drop_prob and float(self.rng_drop.random()) < cfg.msg_drop_prob:
+        if cfg.msg_drop_prob and float(
+            self._rng("drop", src_node, dst_node).random()
+        ) < cfg.msg_drop_prob:
             self.drops += 1
             self.stats.dropped += 1
             return ()
         first = 0.0
-        if cfg.msg_delay_prob and float(self.rng_delay.random()) < cfg.msg_delay_prob:
+        if cfg.msg_delay_prob and float(
+            self._rng("delay", src_node, dst_node).random()
+        ) < cfg.msg_delay_prob:
             self.delays += 1
             self.stats.delayed += 1
             first = cfg.msg_delay_us
-        if cfg.msg_dup_prob and float(self.rng_dup.random()) < cfg.msg_dup_prob:
+        if cfg.msg_dup_prob and float(
+            self._rng("dup", src_node, dst_node).random()
+        ) < cfg.msg_dup_prob:
             self.dups += 1
             self.stats.duplicated += 1
             return (first, first + cfg.msg_delay_us)
@@ -110,19 +133,17 @@ class FaultInjector:
         self.monitor = TimesyncMonitor(cluster.switch)
         # Dedicated streams: consuming fault randomness must never shift
         # the draws of daemons, clocks, or apps (variance isolation).
-        # Network faults go further — one stream *per fault type* — so
-        # enabling drops cannot reshuffle dup/delay draws and vice versa.
-        self._pipe_rng = cluster.rngf.stream("faults.pipe")
+        # Network faults go further — one stream per fault type *per
+        # link* — and pipe loss draws per node, so every stochastic fault
+        # decision sequence is keyed to the entity it strikes and stays
+        # shard-stable under parallel DES (see NetFaultPlane).
+        self._pipe_rngs: dict[int, object] = {}
         self._clock_rng = cluster.rngf.stream("faults.clock")
 
         self.net_plane: Optional[NetFaultPlane] = None
         if config.any_net_faults:
-            net_rngs = {
-                kind: cluster.rngf.stream(f"faults.net.{kind}")
-                for kind in ("drop", "delay", "dup")
-            }
             self.net_plane = NetFaultPlane(
-                cluster.sim, config, net_rngs, cluster.fabric.stats
+                cluster.sim, config, cluster.rngf, cluster.fabric.stats
             )
             cluster.fabric.fault_plane = self.net_plane
 
@@ -191,13 +212,22 @@ class FaultInjector:
     # ------------------------------------------------------------------
     # Control-pipe loss
     # ------------------------------------------------------------------
-    def pipe_filter(self) -> bool:
-        """JobCoscheduler hook: False means this pipe message is lost."""
+    def pipe_filter(self, node_id: int) -> bool:
+        """JobCoscheduler hook: False means this pipe message is lost.
+
+        Draws from a per-node stream (``faults.pipe.n<node>``): pipe
+        messages are node-local, so keying the stream to the node makes
+        the loss sequence shard-stable under parallel DES.
+        """
         if self.config.pipe_loss_prob <= 0.0:
             return True
-        if float(self._pipe_rng.random()) < self.config.pipe_loss_prob:
+        rng = self._pipe_rngs.get(node_id)
+        if rng is None:
+            rng = self.cluster.rngf.stream(f"faults.pipe.n{node_id}")
+            self._pipe_rngs[node_id] = rng
+        if float(rng.random()) < self.config.pipe_loss_prob:
             self.pipe_losses += 1
-            self.record("pipe_msg_lost", -1)
+            self.record("pipe_msg_lost", node_id)
             return False
         return True
 

@@ -83,4 +83,4 @@ class CoschedWatchdog:
                 if task.state is not ThreadState.FINISHED and not nc.knows(task):
                     self.injector.record("task_reregistered", self.node_id, task.name)
                     self.reregistrations += 1
-                    jc._pipe_send(nc.pipe_register, task)
+                    jc._pipe_send(nc, nc.pipe_register, task)

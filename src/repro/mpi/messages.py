@@ -35,19 +35,35 @@ class ReliableTransport:
 
     Installed per job world by the fault injector; every point-to-point
     send (and hence every software collective round) flows through it.
-    Each message carries a sequence number: the receive side suppresses
-    duplicates (retransmitted or fabric-duplicated copies) and, on first
-    delivery, cancels the sender's pending retransmit timer — the abstract
-    equivalent of a zero-cost ack.  Retransmits back off exponentially up
-    to ``max_timeout_us``; the attempt that reaches ``max_attempts`` goes
-    out on the link-level-guaranteed path (``faultable=False``), which
-    bounds loss and is why collectives cannot deadlock even at
+    Each message carries a ``(src_node, seq)`` key — sequence numbers are
+    allocated per source node, so the key is globally unique even when
+    the job's nodes are split across parallel-DES shards.  The receive
+    side suppresses duplicates (retransmitted or fabric-duplicated
+    copies) and, on first delivery, sends an **ack** back on the
+    link-level-guaranteed path (``faultable=False``, zero bytes); the ack
+    cancels the sender's pending retransmit timer.  Retransmits back off
+    exponentially up to ``max_timeout_us``; the attempt that reaches
+    ``max_attempts`` goes out on the guaranteed path itself, which bounds
+    loss and is why collectives cannot deadlock even at
     ``msg_drop_prob = 1``.
 
-    With no faults active the extra cost is one wrapper tuple and one
-    timer event per message; the timer is cancelled on delivery, so it
-    never fires and never perturbs timings.
+    Under parallel DES (*router* given) both data and acks cross shard
+    boundaries as first-class router envelopes: the transport registers
+    one delivery uid for data and one for acks at construction — worlds
+    and transports are constructed in launch order on every shard, so the
+    uids agree without any exchange.  Acks never consult the fault plane,
+    so they consume no per-link fault draws, and their wire time is the
+    full remote latency — at or above the coordinator's lookahead —
+    keeping the conservative window sound.
+
+    With no faults active the extra cost per message is one wrapper
+    tuple, one timer event, and one ack message; the timer is cancelled
+    when the ack lands, well before ms-scale timeouts fire, so timings of
+    the data path are unperturbed.
     """
+
+    #: Acks model a header-only control packet: zero payload bytes.
+    ACK_NBYTES = 0
 
     def __init__(
         self,
@@ -59,6 +75,7 @@ class ReliableTransport:
         backoff: float,
         max_timeout_us: float,
         max_attempts: int,
+        router=None,
     ) -> None:
         self.sim = sim
         self.fabric = fabric
@@ -67,16 +84,23 @@ class ReliableTransport:
         self.backoff = backoff
         self.max_timeout_us = max_timeout_us
         self.max_attempts = max_attempts
-        self._next_seq = 0
-        #: seq -> [src_node, dst_node, msg, attempt, timeout, timer_event]
-        self._inflight: dict[int, list] = {}
-        self._delivered: set[int] = set()
+        self.router = router
+        #: Per-source-node sequence counters.
+        self._next_seq: dict[int, int] = {}
+        #: (src_node, seq) -> [src_node, dst_node, msg, attempt, timeout, timer_event]
+        self._inflight: dict[tuple, list] = {}
+        self._delivered: set[tuple] = set()
         self.retransmits = 0
         self.duplicates_dropped = 0
         self.forced = 0
         #: Messages abandoned at the attempt cap — only the planted
         #: ``retransmit_giveup`` demo bug can make this non-zero.
         self.gaveup = 0
+        if router is not None:
+            self._data_uid = router.register(self._on_arrive)
+            self._ack_uid = router.register(self._on_ack)
+        else:
+            self._data_uid = self._ack_uid = None
 
     def snapshot_state(self, desc) -> dict:
         """Checkpoint view: counters, in-flight entries, delivered digest."""
@@ -84,7 +108,7 @@ class ReliableTransport:
 
         delivered = ",".join(map(str, sorted(self._delivered)))
         return {
-            "next_seq": self._next_seq,
+            "next_seq": [list(kv) for kv in sorted(self._next_seq.items())],
             "retransmits": self.retransmits,
             "duplicates_dropped": self.duplicates_dropped,
             "forced": self.forced,
@@ -92,7 +116,7 @@ class ReliableTransport:
             "delivered": hashlib.sha256(delivered.encode()).hexdigest(),
             "inflight": [
                 [
-                    seq,
+                    list(key),
                     e[0],
                     e[1],
                     desc.value(e[2]),
@@ -100,38 +124,71 @@ class ReliableTransport:
                     e[4],
                     desc.event(e[5]),
                 ]
-                for seq, e in sorted(self._inflight.items())
+                for key, e in sorted(self._inflight.items())
             ],
         }
 
     def send(self, src_node: int, dst_node: int, msg: Message) -> None:
         """Launch *msg* with retransmit protection."""
-        seq = self._next_seq
-        self._next_seq += 1
+        seq = self._next_seq.get(src_node, 0)
+        self._next_seq[src_node] = seq + 1
+        key = (src_node, seq)
         entry = [src_node, dst_node, msg, 1, self.timeout_us, None]
-        self._inflight[seq] = entry
-        self.fabric.transmit(src_node, dst_node, msg.nbytes, (seq, msg), self._on_arrive)
+        self._inflight[key] = entry
+        self._transmit_data(key, entry, faultable=True)
         entry[5] = self.sim.schedule(
-            self.timeout_us, self._on_timeout, seq, priority=EventPriority.KERNEL
+            self.timeout_us, self._on_timeout, key, priority=EventPriority.KERNEL
         )
 
+    def _transmit_data(self, key: tuple, entry: list, faultable: bool) -> None:
+        """One data copy, local schedule or cross-shard envelope(s)."""
+        src_node, dst_node, msg = entry[0], entry[1], entry[2]
+        wrapped = (key, dst_node, msg)
+        if self.router is not None and not self.router.owns(dst_node):
+            for arrival in self.fabric.remote_arrivals(
+                src_node, dst_node, msg.nbytes, faultable=faultable
+            ):
+                self.router.emit(arrival, src_node, self._data_uid, dst_node, wrapped)
+        else:
+            self.fabric.transmit(
+                src_node, dst_node, msg.nbytes, wrapped, self._on_arrive,
+                faultable=faultable,
+            )
+
     def _on_arrive(self, wrapped: tuple) -> None:
-        seq, msg = wrapped
-        if seq in self._delivered:
+        key, dst_node, msg = wrapped
+        if key in self._delivered:
             self.duplicates_dropped += 1
             return
-        self._delivered.add(seq)
-        entry = self._inflight.pop(seq, None)
-        if entry is not None and entry[5] is not None:
-            entry[5].cancel()
+        self._delivered.add(key)
+        self._send_ack(key, dst_node)
         self.deliver(msg)
 
-    def _on_timeout(self, seq: int) -> None:
-        entry = self._inflight.get(seq)
-        if entry is None:  # delivered in the meantime
+    def _send_ack(self, key: tuple, dst_node: int) -> None:
+        """Ack from the receiver's node back to the sender's (guaranteed)."""
+        src_node = key[0]
+        if self.router is not None and not self.router.owns(src_node):
+            for arrival in self.fabric.remote_arrivals(
+                dst_node, src_node, self.ACK_NBYTES, faultable=False
+            ):
+                self.router.emit(arrival, dst_node, self._ack_uid, src_node, key)
+        else:
+            self.fabric.transmit(
+                dst_node, src_node, self.ACK_NBYTES, key, self._on_ack,
+                faultable=False,
+            )
+
+    def _on_ack(self, key: tuple) -> None:
+        entry = self._inflight.pop(key, None)
+        if entry is not None and entry[5] is not None:
+            entry[5].cancel()
+            entry[5] = None
+
+    def _on_timeout(self, key: tuple) -> None:
+        entry = self._inflight.get(key)
+        if entry is None:  # acked in the meantime
             return
-        src_node, dst_node, msg, attempt, timeout, _ = entry
-        attempt += 1
+        attempt = entry[3] + 1
         self.retransmits += 1
         entry[3] = attempt
         if attempt >= self.max_attempts:
@@ -152,16 +209,13 @@ class ReliableTransport:
                 return
             # Last resort: the guaranteed link-level path.  No further timer
             # — this copy always lands (dedup still applies if an earlier
-            # copy limps in first).
+            # copy limps in first), and its ack retires the entry.
             self.forced += 1
             entry[5] = None
-            self.fabric.transmit(
-                src_node, dst_node, msg.nbytes, (seq, msg), self._on_arrive, faultable=False
-            )
+            self._transmit_data(key, entry, faultable=False)
             return
-        timeout = min(timeout * self.backoff, self.max_timeout_us)
-        entry[4] = timeout
-        self.fabric.transmit(src_node, dst_node, msg.nbytes, (seq, msg), self._on_arrive)
+        entry[4] = min(entry[4] * self.backoff, self.max_timeout_us)
+        self._transmit_data(key, entry, faultable=True)
         entry[5] = self.sim.schedule(
-            timeout, self._on_timeout, seq, priority=EventPriority.KERNEL
+            entry[4], self._on_timeout, key, priority=EventPriority.KERNEL
         )

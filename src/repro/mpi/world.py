@@ -84,6 +84,7 @@ class MpiWorld:
             backoff=faults.retransmit_backoff,
             max_timeout_us=faults.retransmit_max_timeout_us,
             max_attempts=faults.retransmit_max_attempts,
+            router=self.cluster.router,
         )
         return self.reliability
 
@@ -99,14 +100,19 @@ class MpiWorld:
         src_node = self.placement.node_of(src)
         dst_node = self.placement.node_of(dst)
         router = self.cluster.router
-        if router is not None and not router.owns(dst_node):
-            # Cross-shard: account the send here, envelope the payload;
-            # the owning shard schedules delivery at the same arrival time
-            # (validate_sharded_config guarantees reliability is None).
-            arrival = self.cluster.fabric.transmit_remote(src_node, dst_node, nbytes)
-            router.emit(arrival, src_node, self._world_uid, dst_node, msg)
-        elif self.reliability is not None:
+        if self.reliability is not None:
+            # The transport owns cross-shard routing for its own data and
+            # ack envelopes (it registered dedicated router uids).
             self.reliability.send(src_node, dst_node, msg)
+        elif router is not None and not router.owns(dst_node):
+            # Cross-shard: account the send here (fault plane included —
+            # per-link streams make its draws shard-stable), envelope each
+            # surviving copy; the owning shard schedules delivery at the
+            # same arrival times.
+            for arrival in self.cluster.fabric.remote_arrivals(
+                src_node, dst_node, nbytes
+            ):
+                router.emit(arrival, src_node, self._world_uid, dst_node, msg)
         else:
             self.cluster.fabric.transmit(src_node, dst_node, nbytes, msg, self._on_arrive)
 

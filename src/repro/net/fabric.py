@@ -85,7 +85,7 @@ class Fabric:
         if nbytes < 0:
             raise ValueError("nbytes must be >= 0")
         same = src_node == dst_node
-        wire = self.config.p2p_time(nbytes, same_node=same)
+        wire = self.wire_time(nbytes, same_node=same)
         self.stats.messages += 1
         self.stats.bytes += nbytes
         if same:
@@ -100,19 +100,43 @@ class Fabric:
         self.sim.schedule_at(arrival, on_arrive, payload, priority=EventPriority.MESSAGE)
         return arrival
 
-    def transmit_remote(self, src_node: int, dst_node: int, nbytes: int) -> float:
-        """Account a message whose destination lives on another shard.
+    def wire_time(self, nbytes: int, same_node: bool) -> float:
+        """Wire time at the *current* simulated instant.
 
-        Charges this shard's send-side statistics and returns the arrival
-        time, but schedules nothing: the parallel-DES router carries the
-        payload to the owning shard, which schedules delivery there.  Wire
-        time is the same LogP expression as :meth:`transmit`, and since
-        ``dst_node`` is remote it is always ``>= latency_us`` — the
-        conservative lookahead :mod:`repro.sim.parallel` relies on.
+        Same LogP expression as ``NetworkConfig.p2p_time``, except the
+        remote latency honours ``NetworkConfig.latency_changes`` — the
+        time-dependent schedule the parallel-DES adaptive lookahead also
+        reads, keeping window safety and actual arrivals consistent.
+        """
+        lat = (
+            self.config.shm_latency_us
+            if same_node
+            else self.config.latency_at(self.sim.now)
+        )
+        return lat + nbytes * self.config.per_byte_us
+
+    def remote_arrivals(
+        self, src_node: int, dst_node: int, nbytes: int, faultable: bool = True
+    ) -> tuple:
+        """Arrival times for a message whose destination lives on another shard.
+
+        Charges this shard's send-side statistics and consults the fault
+        plane exactly as :meth:`transmit` would, but schedules nothing:
+        the caller wraps each returned arrival in a router envelope and
+        the owning shard schedules delivery there.  ``()`` means the
+        message was dropped.  Since ``dst_node`` is remote, every arrival
+        is ``>= now + latency_at(now)`` — the conservative lookahead
+        :mod:`repro.sim.parallel` relies on.
         """
         if src_node == dst_node:
             raise ValueError("cross-shard transmit cannot be node-internal")
-        wire = self.config.p2p_time(nbytes, same_node=False)
+        wire = self.wire_time(nbytes, same_node=False)
         self.stats.messages += 1
         self.stats.bytes += nbytes
-        return self.sim.now + wire
+        base = self.sim.now + wire
+        if self.fault_plane is not None and faultable:
+            return tuple(
+                base + extra
+                for extra in self.fault_plane.plan(src_node, dst_node, nbytes)
+            )
+        return (base,)

@@ -21,34 +21,56 @@ The coordinator repeats:
 1. collect each shard's next-event time and undelivered envelopes;
 2. ``N  = min(next-event times ∪ pending envelope arrivals)``
    ``H' = N + L``  where ``L`` is the fabric's minimum cross-node wire
-   time (``NetworkConfig.latency_us`` — the LogP latency floor, since
-   ``p2p_time = latency + bytes·G ≥ latency`` for remote messages);
+   latency over the window — ``NetworkConfig.latency_at(N)``, further
+   clamped by any scheduled latency change that takes effect inside the
+   window (adaptive lookahead: degraded links shrink the window);
 3. deliver pending envelopes (sorted canonically by
    ``(arrival, src_node, link_seq)``) and let every shard run events
    strictly ``< H'`` in parallel (:meth:`Simulator.run_until_before`).
 
-Safety: every event fired in the window has ``t ≥ N``, so any message it
-sends arrives at ``t + L ≥ H'`` — outside the window — hence no shard can
-receive a message from the past.  Envelope arrivals are likewise
-``≥ H'``, so delivering them at the barrier (``now = H'``) never schedules
-into the past.
+Safety: every event fired in the window has ``t ≥ N``.  A message sent
+at ``t`` before a latency change at ``C`` pays the pre-change latency
+``l_old ≥ L`` so arrives ``≥ N + L = H'``; one sent at ``t ≥ C`` pays
+``l_new``, and if ``C ≤ H' = N + min(l_old, l_new, …)`` then
+``t + l_new ≥ C + l_new > H'`` — either way outside the window, hence no
+shard can receive a message from the past.  Envelope arrivals are
+likewise ``≥ H'``, so delivering them at the barrier (``now = H'``)
+never schedules into the past.
 
 Determinism: the window boundary sequence is a pure function of the
 global event stream, per-shard event order is the serial engine's total
 ``(time, priority, seq)`` order, cross-shard deliveries are sorted
 canonically before scheduling, and all runtime randomness comes from
-shard-stable named streams (see :mod:`repro.sim.shard`).  Sharded runs
-therefore reproduce the serial oracle's **result digest byte-for-byte**
-— enforced by ``tests/test_parallel_des.py`` and the CI
-``parallel-des-smoke`` job.
+shard-stable named streams — including per-link message-fault draws,
+per-node pipe-loss draws, and the retransmit layer's ack traffic (see
+:mod:`repro.sim.shard`).  Sharded runs therefore reproduce the serial
+oracle's **result digest byte-for-byte** — enforced by
+``tests/test_parallel_des.py`` and the CI ``parallel-des-smoke`` /
+``shard-chaos-smoke`` jobs.
 
 What sharded mode rejects (:func:`validate_sharded_config`): hardware
-collectives (the switch-combine path schedules cross-node arrivals at
-half a hop, under the lookahead), stochastic network faults / pipe loss /
-timesync loss (drawn from global event-order streams), and the
-retransmit layer (its acks would need their own channel).  Deterministic
-scheduled node/co-scheduler faults are supported — they are node-local
-with fixed firing times.
+collectives only — the switch-combine path schedules cross-node arrivals
+at half a wire hop, under the conservative lookahead.  Everything else —
+stochastic network faults, pipe loss, timesync loss, the retransmit
+layer, scheduled node/co-scheduler faults — runs sharded with serial
+digests.
+
+Worker supervision
+------------------
+With forked workers, the coordinator is also a supervisor: worker pipes
+are multiplexed with process sentinels and per-``heartbeat_s`` worker
+heartbeats, so a crashed worker (pipe EOF / sentinel) or a stalled one
+(no traffic for ``hang_timeout_s`` — then SIGKILL) is detected at the
+barrier.  Recovery respawns the shard from its spec and **replays** the
+full superstep history (windows + incoming envelopes, which the
+coordinator retains); construction pins RNG draw order, so the replayed
+shard reaches the last completed barrier bit-identically and the current
+window is reissued.  Retries are bounded (``max_respawns``, exponential
+``respawn_backoff_s``); exhausting them raises
+:class:`ShardFailureError` with structured ``details`` instead of
+hanging.  The ``harness.shard.kill.<shard>`` chaos axis
+(:func:`repro.chaos.harness_faults.shard_kill_plan`) drives exactly this
+path in CI, asserting chaos-run digests equal clean-run digests.
 """
 
 from __future__ import annotations
@@ -56,6 +78,10 @@ from __future__ import annotations
 import hashlib
 import importlib
 import multiprocessing
+import os
+import signal
+import threading
+import time as _time
 import traceback
 from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
@@ -68,21 +94,67 @@ from repro.units import s
 
 __all__ = [
     "ParallelRunResult",
+    "ShardFailureError",
     "ShardPlan",
     "ShardRouter",
     "ShardSpec",
+    "ShardWorkerDied",
+    "ShardWorkerHung",
     "run_parallel",
     "validate_sharded_config",
 ]
 
 
+class ShardWorkerDied(RuntimeError):
+    """A forked shard worker exited or its pipe broke (recoverable)."""
+
+
+class ShardWorkerHung(RuntimeError):
+    """A forked shard worker went silent past the hang deadline
+    (recoverable; the supervisor SIGKILLs it first)."""
+
+
+class ShardFailureError(RuntimeError):
+    """A shard could not be recovered within the respawn budget.
+
+    ``details`` is a structured post-mortem: the shard, the budget, the
+    window being attempted, how many supersteps had completed, and the
+    per-attempt failure causes — what the chaos journal records instead
+    of a hang.
+    """
+
+    def __init__(
+        self,
+        shard_id: int,
+        attempts: int,
+        window: Optional[float],
+        supersteps: int,
+        causes: list[str],
+    ) -> None:
+        self.details = {
+            "shard_id": shard_id,
+            "attempts": attempts,
+            "window": window,
+            "supersteps": supersteps,
+            "causes": list(causes),
+        }
+        super().__init__(
+            f"shard {shard_id} unrecoverable after {attempts} respawn attempt(s) "
+            f"at superstep {supersteps}: {causes[-1] if causes else 'no attempts allowed'}"
+        )
+
+
 def validate_sharded_config(config: ClusterConfig, n_shards: int) -> None:
     """Reject configurations whose semantics cannot survive sharding.
 
-    Raises ``ValueError`` naming the offending knob.  Everything rejected
-    here either bypasses the fabric lookahead or draws from a global
-    stream in event order (not shard-stable); the serial engine remains
-    available for all of it.
+    Raises ``ValueError`` naming the offending knob.  The only model
+    restriction left is the hardware-collective path, whose
+    switch-combine hop is *shorter* than the conservative lookahead
+    (sub-lookahead switch combining stays out of scope); the serial
+    engine remains available for it.  Stochastic faults, pipe loss,
+    timesync loss, and the retransmit layer all shard cleanly — their
+    randomness comes from per-link / per-node shard-stable streams and
+    acks ride the cross-shard channel.
     """
     if n_shards < 1:
         raise ValueError(f"shards must be >= 1, got {n_shards}")
@@ -101,28 +173,9 @@ def validate_sharded_config(config: ClusterConfig, n_shards: int) -> None:
         raise ValueError(
             "mpi.algorithm='hardware' is not shardable: the switch-combine "
             "path schedules cross-node arrivals at half a wire hop, under "
-            "the conservative lookahead; use the serial engine"
+            "the conservative lookahead (sub-lookahead switch combining is "
+            "out of scope); use the serial engine"
         )
-    f = config.faults
-    if f.enabled:
-        if f.any_net_faults:
-            raise ValueError(
-                "stochastic network faults (msg_drop/dup/delay_prob) draw "
-                "from global event-order streams and are not shard-stable; "
-                "use the serial engine or scheduled node/cosched faults"
-            )
-        if f.pipe_loss_prob > 0:
-            raise ValueError("pipe_loss_prob draws in event order; not shardable")
-        if f.timesync_loss_at_us is not None:
-            raise ValueError(
-                "timesync loss makes runtime switch-clock reads draw in "
-                "event order; not shardable"
-            )
-        if f.retransmit_enabled:
-            raise ValueError(
-                "retransmit layer is not shardable (its acks bypass the "
-                "cross-shard channel); set FaultConfig.retransmit_enabled=False"
-            )
 
 
 @dataclass(frozen=True)
@@ -131,7 +184,9 @@ class ShardSpec:
 
     Picklable by construction (the app is a ``"module:attr"`` reference,
     resolved inside the worker), so the same spec drives the in-process
-    host and the forked worker identically.
+    host, the forked worker, and a supervisor **respawn** identically —
+    respawn-and-replay determinism rests on the spec being the whole
+    input.
     """
 
     config: ClusterConfig
@@ -227,6 +282,26 @@ class ShardHost:
 
     def collect(self) -> dict:
         """Local results after the job's owned ranks all finished."""
+        inj = self.system.injector
+        rel = self.job.world.reliability
+        counters = {
+            "retransmits": rel.retransmits if rel else 0,
+            "forced": rel.forced if rel else 0,
+            "gaveup": rel.gaveup if rel else 0,
+            "duplicates_dropped": rel.duplicates_dropped if rel else 0,
+            "net_drops": inj.net_plane.drops if inj and inj.net_plane else 0,
+            "net_dups": inj.net_plane.dups if inj and inj.net_plane else 0,
+            "net_delays": inj.net_plane.delays if inj and inj.net_plane else 0,
+            "pipe_losses": inj.pipe_losses if inj else 0,
+            "watchdog_restarts": (
+                sum(w.restarts for w in inj.watchdogs) if inj else 0
+            ),
+            "degradation_events": (
+                sum(1 for e in inj.events if e.kind == "timesync_degraded")
+                if inj
+                else 0
+            ),
+        }
         return {
             "app": self.app.collect(),
             "finish_times": {str(r): t for r, t in sorted(self.job._finish_times.items())},
@@ -234,68 +309,153 @@ class ShardHost:
             "events": self.system.sim.events_processed,
             "sent": self.router.sent,
             "received": self.router.received,
+            "counters": counters,
         }
 
     def close(self) -> None:
         """Nothing to release in-process (symmetry with _ProcessHost)."""
 
+    def kill(self) -> None:
+        """Nothing to kill in-process (symmetry with _ProcessHost)."""
 
-def _shard_worker_main(conn, spec: ShardSpec) -> None:
-    """Forked worker: serve the superstep protocol over a duplex pipe."""
+
+def _shard_worker_main(conn, spec: ShardSpec, heartbeat_s: float = 5.0) -> None:
+    """Forked worker: serve the superstep protocol over a duplex pipe.
+
+    A daemon thread sends ``("hb", None)`` every *heartbeat_s* so the
+    supervisor can tell "computing a long window" from "stopped/dead";
+    the lock serializes heartbeats against protocol replies.
+    """
+    lock = threading.Lock()
+    stop = threading.Event()
+
+    def _send(obj) -> None:
+        with lock:
+            conn.send(obj)
+
+    def _beat() -> None:
+        while not stop.wait(heartbeat_s):
+            try:
+                _send(("hb", None))
+            except OSError:  # parent gone; main thread will notice too
+                return
+
+    beat = threading.Thread(target=_beat, daemon=True)
+    beat.start()
     try:
         host = ShardHost(spec)
-        conn.send(("ready", host.ready()))
+        _send(("ready", host.ready()))
         while True:
             msg = conn.recv()
             if msg[0] == "step":
                 host.step_send(msg[1], msg[2])
-                conn.send(("state", host.step_recv()))
+                _send(("state", host.step_recv()))
             elif msg[0] == "collect":
-                conn.send(("result", host.collect()))
+                _send(("result", host.collect()))
             elif msg[0] == "exit":
                 return
             else:  # pragma: no cover - protocol bug
                 raise RuntimeError(f"unknown directive {msg[0]!r}")
     except BaseException:
         try:
-            conn.send(("error", traceback.format_exc()))
+            _send(("error", traceback.format_exc()))
         except (BrokenPipeError, OSError):  # pragma: no cover - parent died
             pass
     finally:
-        conn.close()
+        stop.set()
+        with lock:
+            conn.close()
 
 
 class _ProcessHost:
-    """Pipe-and-fork wrapper presenting the :class:`ShardHost` protocol."""
+    """Pipe-and-fork wrapper presenting the :class:`ShardHost` protocol.
 
-    def __init__(self, spec: ShardSpec, ctx) -> None:
+    Every receive multiplexes the worker pipe with the process sentinel
+    and enforces the hang deadline, so worker death surfaces as
+    :class:`ShardWorkerDied` and silence as :class:`ShardWorkerHung`
+    (after a SIGKILL) instead of blocking the coordinator forever.
+    """
+
+    def __init__(
+        self,
+        spec: ShardSpec,
+        ctx,
+        heartbeat_s: float = 5.0,
+        hang_timeout_s: Optional[float] = 120.0,
+    ) -> None:
+        self.spec = spec
+        self.hang_timeout_s = hang_timeout_s
         self.conn, child = ctx.Pipe(duplex=True)
         self.proc = ctx.Process(
-            target=_shard_worker_main, args=(child, spec), daemon=True
+            target=_shard_worker_main, args=(child, spec, heartbeat_s), daemon=True
         )
         self.proc.start()
         child.close()
         self._ready = self._recv("ready")
 
     def _recv(self, expect: str):
-        kind, payload = self.conn.recv()
-        if kind == "error":
-            raise RuntimeError(f"shard worker failed:\n{payload}")
-        if kind != expect:  # pragma: no cover - protocol bug
-            raise RuntimeError(f"expected {expect!r} from worker, got {kind!r}")
-        return payload
+        from multiprocessing import connection as _mpc
+
+        sid = self.spec.shard_id
+        deadline = (
+            _time.monotonic() + self.hang_timeout_s
+            if self.hang_timeout_s is not None
+            else None
+        )
+        while True:
+            timeout = (
+                None if deadline is None else max(0.0, deadline - _time.monotonic())
+            )
+            ready = _mpc.wait([self.conn, self.proc.sentinel], timeout=timeout)
+            if not ready:
+                self.kill()
+                raise ShardWorkerHung(
+                    f"shard {sid} silent for {self.hang_timeout_s}s; killed"
+                )
+            if self.conn in ready:
+                try:
+                    kind, payload = self.conn.recv()
+                except (EOFError, OSError) as exc:
+                    raise ShardWorkerDied(
+                        f"shard {sid} worker pipe closed mid-reply ({exc!r})"
+                    ) from None
+                if kind == "hb":
+                    if deadline is not None:
+                        deadline = _time.monotonic() + self.hang_timeout_s
+                    continue
+                if kind == "error":
+                    raise RuntimeError(f"shard worker failed:\n{payload}")
+                if kind != expect:  # pragma: no cover - protocol bug
+                    raise RuntimeError(f"expected {expect!r} from worker, got {kind!r}")
+                return payload
+            # Sentinel fired with nothing left in the pipe: the worker is
+            # gone without even an error report (SIGKILL, OOM, segfault).
+            self.proc.join(timeout=5)
+            raise ShardWorkerDied(
+                f"shard {sid} worker died (exit code {self.proc.exitcode})"
+            )
 
     def ready(self) -> tuple:
         return self._ready
 
     def step_send(self, horizon: float, incoming: list[tuple]) -> None:
-        self.conn.send(("step", horizon, incoming))
+        try:
+            self.conn.send(("step", horizon, incoming))
+        except (BrokenPipeError, OSError) as exc:
+            raise ShardWorkerDied(
+                f"shard {self.spec.shard_id} worker pipe closed on send ({exc!r})"
+            ) from None
 
     def step_recv(self) -> tuple:
         return self._recv("state")
 
     def collect(self) -> dict:
-        self.conn.send(("collect", None))
+        try:
+            self.conn.send(("collect", None))
+        except (BrokenPipeError, OSError) as exc:
+            raise ShardWorkerDied(
+                f"shard {self.spec.shard_id} worker pipe closed on send ({exc!r})"
+            ) from None
         return self._recv("result")
 
     def close(self) -> None:
@@ -303,11 +463,26 @@ class _ProcessHost:
             self.conn.send(("exit", None))
         except (BrokenPipeError, OSError):
             pass
-        self.conn.close()
+        try:
+            self.conn.close()
+        except OSError:  # pragma: no cover
+            pass
         self.proc.join(timeout=30)
         if self.proc.is_alive():  # pragma: no cover - hung worker
-            self.proc.terminate()
+            self.proc.kill()
             self.proc.join(timeout=5)
+
+    def kill(self) -> None:
+        """Hard stop: SIGKILL (covers SIGSTOPped workers too) and reap."""
+        try:
+            if self.proc.is_alive():
+                self.proc.kill()
+            self.proc.join(timeout=10)
+        finally:
+            try:
+                self.conn.close()
+            except OSError:  # pragma: no cover
+                pass
 
 
 @dataclass
@@ -319,7 +494,9 @@ class ParallelRunResult:
     superstep counts are reported for inspection but excluded, because a
     shard whose ranks finish early retires its co-scheduler earlier than
     the serial schedule would, which shifts background-only events
-    without touching any rank-visible timing.
+    without touching any rank-visible timing.  ``counters`` (summed
+    fault/resilience counters) IS shard-count invariant; ``recoveries``
+    (supervisor respawns) is an execution-substrate fact and excluded.
     """
 
     shards: int
@@ -332,6 +509,8 @@ class ParallelRunResult:
     supersteps: int
     lookahead_us: float
     wall_s: float = 0.0
+    counters: dict = field(default_factory=dict)
+    recoveries: int = 0
 
     @property
     def events_total(self) -> int:
@@ -367,6 +546,12 @@ def run_parallel(
     meanfield: Optional[MeanFieldConfig] = None,
     use_processes: Optional[bool] = None,
     job_name: str = "pdes",
+    max_respawns: int = 3,
+    respawn_backoff_s: float = 0.05,
+    hang_timeout_s: Optional[float] = 120.0,
+    heartbeat_s: float = 5.0,
+    shard_chaos_seed: Optional[int] = None,
+    _superstep_hook: Optional[Callable[[int, list], None]] = None,
 ) -> ParallelRunResult:
     """Run *app* over *config* with the cluster sharded *shards* ways.
 
@@ -375,10 +560,24 @@ def run_parallel(
     shard in-process (identical event semantics — the processes are a
     wall-clock lever, not a correctness one — and what the hypothesis
     equivalence suite uses to keep hundreds of examples cheap).
+
+    With forked workers the coordinator supervises them: crashes and
+    hangs are recovered by respawn + deterministic replay of the
+    superstep history, up to *max_respawns* attempts per incident with
+    exponential *respawn_backoff_s*; exhaustion raises
+    :class:`ShardFailureError`.  *shard_chaos_seed* arms the
+    ``harness.shard.kill.<shard>`` axis, SIGKILLing workers pre/mid
+    window per their deterministic plans (forked workers only).
+    *_superstep_hook* is test/chaos instrumentation: called as
+    ``hook(superstep_index, hosts)`` at the top of every superstep.
     """
     validate_sharded_config(config, shards)
-    plan = ShardPlan(n_nodes=config.machine.n_nodes, n_shards=shards)
-    lookahead = config.network.latency_us
+    n_nodes = config.machine.n_nodes
+    job_nodes = min(n_nodes, -(-n_ranks // tasks_per_node))
+    plan = ShardPlan.for_placement(
+        n_nodes, shards, job_nodes=job_nodes, tasks_per_node=tasks_per_node
+    )
+    net = config.network
     app_params = app_params or {}
     specs = [
         ShardSpec(
@@ -396,7 +595,21 @@ def run_parallel(
     ]
     if use_processes is None:
         use_processes = shards > 1
-    import time as _time
+
+    kill_plans: dict = {}
+    kills_done: dict = {}
+    if shard_chaos_seed is not None:
+        if not use_processes:
+            raise ValueError(
+                "shard_chaos_seed kills worker processes; it requires "
+                "use_processes=True (in-process hosts have nothing to kill)"
+            )
+        from repro.chaos.harness_faults import shard_kill_plan
+
+        kill_plans = {
+            sid: shard_kill_plan(shard_chaos_seed, sid) for sid in range(shards)
+        }
+        kills_done = {sid: 0 for sid in range(shards)}
 
     wall0 = _time.perf_counter()
     if use_processes:
@@ -404,11 +617,81 @@ def run_parallel(
             ctx = multiprocessing.get_context("fork")
         except ValueError:  # pragma: no cover - non-POSIX
             ctx = multiprocessing.get_context("spawn")
-        hosts: list = [_ProcessHost(sp, ctx) for sp in specs]
     else:
-        hosts = [ShardHost(sp) for sp in specs]
+        ctx = None
 
+    def _spawn(sid: int):
+        if use_processes:
+            return _ProcessHost(
+                specs[sid], ctx, heartbeat_s=heartbeat_s, hang_timeout_s=hang_timeout_s
+            )
+        return ShardHost(specs[sid])
+
+    hosts: list = []
+    #: Completed supersteps: (window, incoming-envelopes-per-shard) — the
+    #: deterministic replay script a respawned shard is driven through.
+    history: list[tuple[float, list[list]]] = []
+    recoveries = 0
+
+    def _respawn_and_replay(
+        sid: int,
+        window: Optional[float] = None,
+        incoming: Optional[list] = None,
+        causes: tuple = (),
+    ):
+        """Respawn shard *sid*, replay history, optionally reissue the
+        current window; returns its reply (None in the collect phase)."""
+        nonlocal recoveries
+        causes = list(causes)
+        for attempt in range(max_respawns):
+            _time.sleep(respawn_backoff_s * (2**attempt))
+            nh = None
+            try:
+                nh = _spawn(sid)
+                for w, inc in history:
+                    nh.step_send(w, inc[sid])
+                    nh.step_recv()  # discard: outputs already routed
+                if window is None:
+                    reply = None
+                else:
+                    nh.step_send(window, incoming)
+                    reply = nh.step_recv()
+            except (ShardWorkerDied, ShardWorkerHung) as exc:
+                causes.append(f"respawn attempt {attempt + 1}: {exc}")
+                if nh is not None:
+                    nh.kill()
+                continue
+            hosts[sid] = nh
+            recoveries += 1
+            return reply
+        raise ShardFailureError(
+            shard_id=sid,
+            attempts=max_respawns,
+            window=window,
+            supersteps=len(history),
+            causes=causes,
+        )
+
+    def _recover(sid: int, window: Optional[float], incoming: Optional[list], exc):
+        hosts[sid].kill()
+        return _respawn_and_replay(
+            sid, window, incoming,
+            causes=(f"superstep {len(history)}: {exc}",),
+        )
+
+    def _maybe_kill(sid: int, point: str) -> None:
+        plan_k = kill_plans.get(sid)
+        if plan_k is None or plan_k.mode is None or kills_done[sid] >= plan_k.kills:
+            return
+        if len(history) >= plan_k.window and point == plan_k.point:
+            kills_done[sid] += 1
+            os.kill(hosts[sid].proc.pid, signal.SIGKILL)
+
+    ok_exit = False
+    lookahead_min: Optional[float] = None
     try:
+        for sid in range(shards):
+            hosts.append(_spawn(sid))
         next_ts: list[Optional[float]] = []
         done = []
         events = [0] * shards
@@ -417,7 +700,6 @@ def run_parallel(
             next_ts.append(nt)
             done.append(dn)
         pending: list[list[tuple]] = [[] for _ in range(shards)]
-        supersteps = 0
         crossed = 0
         while sum(done) < n_ranks:
             candidates = [t for t in next_ts if t is not None]
@@ -433,33 +715,72 @@ def run_parallel(
                     f"job {job_name!r} incomplete at horizon {horizon_us}: "
                     f"{sum(done)}/{n_ranks} ranks finished"
                 )
+            # Adaptive lookahead: the latency in force at the frontier,
+            # clamped by any scheduled change landing inside the window
+            # (see the safety argument in the module docstring).
+            lookahead = net.latency_at(frontier)
+            for at_us, lat in net.latency_changes:
+                if frontier < at_us <= frontier + net.latency_at(frontier):
+                    lookahead = min(lookahead, lat)
+            lookahead_min = (
+                lookahead if lookahead_min is None else min(lookahead_min, lookahead)
+            )
             window = frontier + lookahead
-            for sid, h in enumerate(hosts):
-                h.step_send(window, pending[sid])
+            if _superstep_hook is not None:
+                _superstep_hook(len(history), hosts)
+            snapshot = [list(p) for p in pending]
+            replies: list = [None] * shards
+            for sid in range(shards):
+                _maybe_kill(sid, "pre")
+                try:
+                    hosts[sid].step_send(window, snapshot[sid])
+                except (ShardWorkerDied, ShardWorkerHung) as exc:
+                    replies[sid] = _recover(sid, window, snapshot[sid], exc)
                 pending[sid] = []
-            for sid, h in enumerate(hosts):
-                nt, outbox, dn, _proc = h.step_recv()
+            for sid in range(shards):
+                _maybe_kill(sid, "mid")
+            for sid in range(shards):
+                if replies[sid] is None:
+                    try:
+                        replies[sid] = hosts[sid].step_recv()
+                    except (ShardWorkerDied, ShardWorkerHung) as exc:
+                        replies[sid] = _recover(sid, window, snapshot[sid], exc)
+                nt, outbox, dn, _proc = replies[sid]
                 next_ts[sid] = nt
                 done[sid] = dn
                 for env in outbox:
                     pending[plan.shard_of(env[4])].append(env)
                     crossed += 1
-            supersteps += 1
+            history.append((window, snapshot))
 
         merged_ranks: dict = {}
+        counters: dict = {}
         ok = True
         finish = []
         start = []
-        for sid, h in enumerate(hosts):
-            res = h.collect()
+        for sid in range(shards):
+            try:
+                res = hosts[sid].collect()
+            except (ShardWorkerDied, ShardWorkerHung) as exc:
+                _recover(sid, None, None, exc)
+                res = hosts[sid].collect()
             merged_ranks.update(res["app"]["ranks"])
             ok = ok and res["app"]["ok"]
             finish.extend(res["finish_times"].values())
             start.append(res["start_time"])
             events[sid] = res["events"]
+            for k, v in res.get("counters", {}).items():
+                counters[k] = counters.get(k, 0) + v
+        ok_exit = True
     finally:
         for h in hosts:
-            h.close()
+            try:
+                if ok_exit:
+                    h.close()
+                else:
+                    h.kill()
+            except Exception:  # pragma: no cover - cleanup best-effort
+                pass
 
     return ParallelRunResult(
         shards=shards,
@@ -469,7 +790,9 @@ def run_parallel(
         ok=ok,
         events_per_shard=events,
         messages_crossed=crossed,
-        supersteps=supersteps,
-        lookahead_us=lookahead,
+        supersteps=len(history),
+        lookahead_us=lookahead_min if lookahead_min is not None else net.latency_at(0.0),
         wall_s=_time.perf_counter() - wall0,
+        counters=counters,
+        recoveries=recoveries,
     )

@@ -16,22 +16,32 @@ stream:
 * ``kernel.lottery.n<node>`` — lottery dispatch (kernel/policy.py)
 * ``daemon.<name>.n<node>.c<cpu>`` — daemon service/jitter draws
 * ``daemon.<name>.phase`` — one aligned-phase draw at install time
+* ``faults.net.<kind>.<src>-><dst>`` — per-link, per-type message-fault
+  decisions (kind ∈ drop/delay/dup).  Every draw for link ``src->dst``
+  happens inside an event on node ``src``, whose local event order the
+  serial engine fixes, so the decision sequence per link is identical on
+  whichever shard owns ``src`` — and identical to the serial run.
+* ``faults.pipe.n<node>`` — control-pipe loss, drawn on the node whose
+  pipe carries the message.
+* ``faults.clock`` — the one timesync-loss event draws jump/drift for
+  **all** nodes in node order inside a single event; non-owned nodes'
+  clocks are inert, so every shard sees the same sequence.
 
 :class:`repro.rng.StreamFactory` derives each stream from the seed and
 the CRC32 of its name — independent of creation order — so a stream
 draws identically regardless of which shard owns the node, and identically
-whether or not the sibling nodes' streams were ever created.  Global
-event-order streams (``faults.net.*``, runtime ``switch.clock`` reads)
-are **not** shard-stable, which is why stochastic network faults and
-timesync loss are rejected in sharded mode (see
+whether or not the sibling nodes' streams were ever created.  The one
+remaining sharded-mode restriction is the hardware-collective path, whose
+switch-combine hop is shorter than the conservative lookahead (see
 :func:`repro.sim.parallel.validate_sharded_config`).
 """
 
 from __future__ import annotations
 
 import itertools
+from bisect import bisect_right
 from dataclasses import dataclass
-from typing import Any, Callable
+from typing import Any, Callable, Optional
 
 __all__ = ["ShardPlan", "ShardRouter"]
 
@@ -40,14 +50,20 @@ __all__ = ["ShardPlan", "ShardRouter"]
 class ShardPlan:
     """Contiguous block partition of cluster nodes across shards.
 
-    ``shard_of(node) = node * n_shards // n_nodes`` — blocks differ in
-    size by at most one node, and block placement keeps a job's
-    consecutive ranks (``node = rank // tpn``) on as few shards as the
-    partition allows.
+    With no explicit ``boundaries``, ``shard_of(node) = node * n_shards
+    // n_nodes`` — blocks differ in size by at most one node.  An
+    explicit ``boundaries`` tuple ``(b_0=0, b_1, ..., b_S=n_nodes)``
+    assigns nodes ``[b_k, b_{k+1})`` to shard ``k`` — still contiguous
+    (so a node's ranks never split, and a job's consecutive ranks
+    ``node = rank // tpn`` stay on as few shards as the cut allows), but
+    the cuts can respect rank placement: :meth:`for_placement` weights
+    each node by the ranks it hosts, so idle tail nodes don't eat shard
+    capacity and every shard carries a near-equal share of the job.
     """
 
     n_nodes: int
     n_shards: int
+    boundaries: Optional[tuple] = None
 
     def __post_init__(self) -> None:
         if self.n_nodes < 1:
@@ -56,17 +72,72 @@ class ShardPlan:
             raise ValueError(
                 f"n_shards must be in 1..{self.n_nodes} (n_nodes), got {self.n_shards}"
             )
+        b = self.boundaries
+        if b is not None:
+            if (
+                len(b) != self.n_shards + 1
+                or b[0] != 0
+                or b[-1] != self.n_nodes
+                or any(b[i] >= b[i + 1] for i in range(len(b) - 1))
+            ):
+                raise ValueError(
+                    f"boundaries must be strictly increasing from 0 to "
+                    f"{self.n_nodes} with {self.n_shards + 1} entries, got {b}"
+                )
+
+    @classmethod
+    def for_placement(
+        cls,
+        n_nodes: int,
+        n_shards: int,
+        job_nodes: int,
+        tasks_per_node: int,
+    ) -> "ShardPlan":
+        """Plan whose cuts balance *ranks*, not node counts.
+
+        The job packs ranks onto nodes ``0..job_nodes-1`` (``node = rank
+        // tasks_per_node``); those nodes weigh ``tasks_per_node``, idle
+        nodes weigh 1 (their daemons still cost something).  A greedy
+        prefix-sum cut puts each boundary where the cumulative weight is
+        closest to ``k/S`` of the total, while leaving every shard at
+        least one node.  Deterministic, and purely an execution-strategy
+        choice: the result digest is plan-independent.
+        """
+        if not 0 <= job_nodes <= n_nodes:
+            raise ValueError(
+                f"job_nodes {job_nodes} out of range 0..{n_nodes}"
+            )
+        weights = [
+            tasks_per_node if n < job_nodes else 1 for n in range(n_nodes)
+        ]
+        prefix = [0]
+        for w in weights:
+            prefix.append(prefix[-1] + w)
+        total = prefix[-1]
+        bounds = [0]
+        for k in range(1, n_shards):
+            target = k * total / n_shards
+            lo = bounds[-1] + 1
+            hi = n_nodes - (n_shards - k)  # leave >=1 node per later shard
+            cut = min(range(lo, hi + 1), key=lambda j: (abs(prefix[j] - target), j))
+            bounds.append(cut)
+        bounds.append(n_nodes)
+        return cls(n_nodes, n_shards, boundaries=tuple(bounds))
 
     def shard_of(self, node: int) -> int:
         """Shard owning *node*."""
         if not 0 <= node < self.n_nodes:
             raise ValueError(f"node {node} out of range 0..{self.n_nodes - 1}")
+        if self.boundaries is not None:
+            return bisect_right(self.boundaries, node) - 1
         return node * self.n_shards // self.n_nodes
 
     def nodes_of(self, shard: int) -> range:
         """The contiguous node block owned by *shard*."""
         if not 0 <= shard < self.n_shards:
             raise ValueError(f"shard {shard} out of range 0..{self.n_shards - 1}")
+        if self.boundaries is not None:
+            return range(self.boundaries[shard], self.boundaries[shard + 1])
         # First node n with n * S // N == shard, i.e. ceil(shard * N / S).
         lo = -(-shard * self.n_nodes // self.n_shards)
         hi = -(-(shard + 1) * self.n_nodes // self.n_shards)

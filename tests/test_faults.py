@@ -185,13 +185,21 @@ class TestFaultConfigValidation:
 # ----------------------------------------------------------------------
 # Network fault plane (unit)
 # ----------------------------------------------------------------------
+class _OneStreamFactory:
+    """Stream factory stub handing every named stream the same scripted
+    rng — unit tests drive one fault type on one link at a time, so a
+    single shared script keeps the draws explicit."""
+
+    def __init__(self, rng):
+        self.rng = rng
+
+    def stream(self, name):
+        return self.rng
+
+
 class TestNetFaultPlane:
     def _plane(self, cfg, rng):
-        # Unit tests drive one fault type at a time, so sharing a single
-        # scripted rng across the per-type slots keeps the draws explicit.
-        return NetFaultPlane(
-            Simulator(), cfg, {"drop": rng, "delay": rng, "dup": rng}, MessageStats()
-        )
+        return NetFaultPlane(Simulator(), cfg, _OneStreamFactory(rng), MessageStats())
 
     def test_clean_when_no_draw_hits(self):
         cfg = FaultConfig(enabled=True, msg_drop_prob=0.1)
@@ -231,16 +239,15 @@ class TestNetFaultPlane:
 # Network fault plane: stream-ordering properties (hypothesis)
 # ----------------------------------------------------------------------
 class TestNetFaultPlaneStreamProperties:
-    """Pins the per-type stream contract in NetFaultPlane's docstring:
-    a config replays identically, and enabling one fault type never
-    reshuffles another type's draws."""
+    """Pins the per-link, per-type stream contract in NetFaultPlane's
+    docstring: a config replays identically, enabling one fault type
+    never reshuffles another type's draws, and traffic on one link never
+    reshuffles another link's draws (the shard-stability contract)."""
 
     N_MSGS = 60
 
     @staticmethod
-    def _decisions(seed, drop, delay, dup):
-        """Run N inter-node messages through a fresh plane; return the
-        per-message plan tuples (the complete observable behaviour)."""
+    def _plane(seed, drop, delay, dup):
         from repro.rng import StreamFactory
 
         cfg = FaultConfig(
@@ -250,13 +257,13 @@ class TestNetFaultPlaneStreamProperties:
             msg_dup_prob=dup,
             msg_delay_us=500.0,
         )
-        rngf = StreamFactory(seed)
-        plane = NetFaultPlane(
-            Simulator(),
-            cfg,
-            {k: rngf.stream(f"faults.net.{k}") for k in ("drop", "delay", "dup")},
-            MessageStats(),
-        )
+        return NetFaultPlane(Simulator(), cfg, StreamFactory(seed), MessageStats())
+
+    @staticmethod
+    def _decisions(seed, drop, delay, dup):
+        """Run N inter-node messages through a fresh plane; return the
+        per-message plan tuples (the complete observable behaviour)."""
+        plane = TestNetFaultPlaneStreamProperties._plane(seed, drop, delay, dup)
         return [
             plane.plan(0, 1, 64) for _ in range(TestNetFaultPlaneStreamProperties.N_MSGS)
         ]
@@ -296,6 +303,33 @@ class TestNetFaultPlaneStreamProperties:
             assert dropped == [i for i, p in enumerate(no_dup) if p == ()]
             delayed = [i for i, p in enumerate(full) if p and p[0] > 0.0]
             assert delayed == [i for i, p in enumerate(no_dup) if p and p[0] > 0.0]
+
+        check()
+
+    def test_links_draw_from_independent_streams(self):
+        """Interleaving traffic on other links must not move a link's own
+        decision sequence — the property that makes the fault plane
+        shard-stable: a shard draws only for links whose source node it
+        owns, in that node's local event order, and still reproduces the
+        serial run's per-link decisions."""
+        from hypothesis import given, settings
+        from hypothesis import strategies as st
+
+        prob = st.floats(0.05, 0.95, allow_nan=False)
+
+        @settings(deadline=None, max_examples=40)
+        @given(seed=st.integers(0, 2**31 - 1), drop=prob, dup=prob)
+        def check(seed, drop, dup):
+            n = TestNetFaultPlaneStreamProperties.N_MSGS
+            alone = TestNetFaultPlaneStreamProperties._plane(seed, drop, 0.0, dup)
+            solo = [alone.plan(0, 1, 64) for _ in range(n)]
+            mixed = TestNetFaultPlaneStreamProperties._plane(seed, drop, 0.0, dup)
+            interleaved = []
+            for _ in range(n):
+                mixed.plan(0, 2, 64)   # other dst
+                interleaved.append(mixed.plan(0, 1, 64))
+                mixed.plan(3, 1, 64)   # other src, same dst
+            assert interleaved == solo
 
         check()
 
@@ -380,7 +414,7 @@ class TestReliableTransport:
             timeout_us=10.0, backoff=2.0, max_timeout_us=40.0, max_attempts=4,
         )
         rel.send(0, 1, Message(src=0, dst=1, tag=0, payload="p", nbytes=8))
-        entry = rel._inflight[0]
+        entry = rel._inflight[(0, 0)]
         assert (entry[3], entry[4]) == (1, 10.0)
 
         sim.run_until(11.0)
@@ -397,7 +431,8 @@ class TestReliableTransport:
 
         sim.run(max_events=100)
         assert [m.payload for m in delivered] == ["p"]
-        assert rel._delivered == {0} and not rel._inflight
+        # The forced copy's ack retires the in-flight entry.
+        assert rel._delivered == {(0, 0)} and not rel._inflight
 
 
 # ----------------------------------------------------------------------

@@ -133,9 +133,9 @@ class TestCorruptions:
         rel = d.system.jobs[0].world.reliability
         assert rel is not None
         msg = Message(src=0, dst=1, tag=1, payload=None, nbytes=8)
-        seq = rel._next_seq
-        rel._next_seq += 1
-        rel._inflight[seq] = [
+        seq = rel._next_seq.get(0, 0)
+        rel._next_seq[0] = seq + 1
+        rel._inflight[(0, seq)] = [
             0, 1, msg, rel.max_attempts + 3, rel.max_timeout_us * 4.0, None,
         ]
         assert violations(d.system, "transport.attempts")
@@ -145,7 +145,8 @@ class TestCorruptions:
         d = build_mini(faults=True)
         drive(d, ms(100))
         rel = d.system.jobs[0].world.reliability
-        rel._next_seq += 1  # a seq that is neither in-flight nor delivered
+        # A seq that is neither in-flight nor delivered.
+        rel._next_seq[0] = rel._next_seq.get(0, 0) + 1
         assert violations(d.system, "transport.complete")
 
     def test_cosched_heartbeat_from_the_future(self):
@@ -180,5 +181,5 @@ class TestTransportStandalone:
             rel.send(0, 1, Message(src=0, dst=1, tag=i, payload=i, nbytes=8))
         sim.run(max_events=10_000)
         assert len(delivered) == 5
-        assert rel._delivered == set(range(5))
+        assert rel._delivered == {(0, i) for i in range(5)}
         assert not rel._inflight

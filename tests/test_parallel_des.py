@@ -88,6 +88,52 @@ class TestShardPlan:
         sizes = [len(plan.nodes_of(sh)) for sh in range(n_shards)]
         assert max(sizes) - min(sizes) <= 1
 
+    @given(
+        n_nodes=st.integers(1, 64),
+        n_shards=st.integers(1, 16),
+        job_frac=st.floats(0.0, 1.0),
+        tpn=st.integers(1, 32),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_for_placement_is_exact_partition(
+        self, n_nodes, n_shards, job_frac, tpn
+    ):
+        if n_shards > n_nodes:
+            return
+        job_nodes = round(job_frac * n_nodes)
+        plan = ShardPlan.for_placement(n_nodes, n_shards, job_nodes, tpn)
+        seen = []
+        for shard in range(n_shards):
+            nodes = list(plan.nodes_of(shard))
+            assert nodes, "every shard owns at least one node"
+            for n in nodes:
+                assert plan.shard_of(n) == shard
+            seen.extend(nodes)
+        assert seen == list(range(n_nodes))
+
+    @given(n_nodes=st.integers(2, 64), n_shards=st.integers(2, 8),
+           tpn=st.integers(2, 32))
+    @settings(max_examples=40, deadline=None)
+    def test_for_placement_weight_balance(self, n_nodes, n_shards, tpn):
+        """With every node hosting ranks, each cut lands within one node's
+        weight of its ideal k/S split point."""
+        if n_shards > n_nodes:
+            return
+        plan = ShardPlan.for_placement(n_nodes, n_shards, n_nodes, tpn)
+        total = n_nodes * tpn
+        for k in range(1, n_shards):
+            assert abs(plan.boundaries[k] * tpn - k * total / n_shards) <= tpn
+
+    def test_for_placement_splits_busy_head(self):
+        """8 nodes, job on the first 2: the legacy node-count plan puts
+        both busy nodes on shard 0; the placement plan cuts between them
+        so each shard carries half the ranks."""
+        plan = ShardPlan.for_placement(8, 2, job_nodes=2, tasks_per_node=16)
+        assert plan.boundaries == (0, 1, 8)
+        assert plan.shard_of(0) != plan.shard_of(1)
+        legacy = ShardPlan(8, 2)
+        assert legacy.shard_of(0) == legacy.shard_of(1)
+
 
 # ---------------------------------------------------------------------------
 # Simulator.run_until_before: the half-open superstep window
@@ -201,6 +247,120 @@ class TestShardEquivalence:
 
 
 # ---------------------------------------------------------------------------
+# Stochastic faults + resilience under sharding (this PR's tentpole)
+# ---------------------------------------------------------------------------
+
+def chaos_faults(**overrides):
+    """Every fault knob at once: the configuration sharded mode used to
+    reject wholesale and must now reproduce byte-for-byte."""
+    kw = dict(
+        enabled=True,
+        msg_drop_prob=0.05,
+        msg_dup_prob=0.05,
+        msg_delay_prob=0.05,
+        msg_delay_us=200.0,
+        pipe_loss_prob=0.3,
+        timesync_loss_at_us=ms(6),
+        retransmit_enabled=True,
+        retransmit_timeout_us=ms(1),
+        retransmit_max_timeout_us=ms(8),
+        watchdog_enabled=True,
+        watchdog_interval_us=ms(5),
+    )
+    kw.update(overrides)
+    return FaultConfig(**kw)
+
+
+class TestFaultEquivalence:
+    """Drop/dup/delay, pipe loss, timesync loss, retransmit, and the
+    watchdog all draw from per-link / per-node streams now — the full
+    fault plane is an execution-strategy-independent part of the model."""
+
+    def test_full_fault_stack_equivalence(self):
+        cfg = small_config(
+            cosched=CoschedConfig(enabled=True, period_us=ms(50), duty_cycle=0.9),
+            faults=chaos_faults(),
+        )
+        runs = [run_shards(cfg, n) for n in (1, 2, 4)]
+        base = runs[0]
+        assert base.ok
+        # Faults actually fired — this is not a vacuous pass.
+        assert base.counters["net_drops"] > 0
+        assert base.counters["retransmits"] > 0
+        assert base.counters["pipe_losses"] > 0
+        assert base.counters["degradation_events"] > 0
+        for r in runs[1:]:
+            assert r.digest == base.digest
+            # Fault bookkeeping is also shard-count invariant when summed.
+            assert r.counters == base.counters
+
+    def test_full_fault_stack_forked_workers(self):
+        cfg = small_config(faults=chaos_faults())
+        inproc = run_shards(cfg, 2, use_processes=False)
+        forked = run_shards(cfg, 2, use_processes=True)
+        assert inproc.digest == forked.digest
+        assert inproc.counters == forked.counters
+
+    @given(
+        seed=st.integers(0, 2**16),
+        drop=st.floats(0.0, 0.15),
+        dup=st.floats(0.0, 0.15),
+        delay=st.floats(0.0, 0.15),
+        pipe=st.floats(0.0, 0.4),
+    )
+    @settings(max_examples=6, deadline=None)
+    def test_randomized_fault_equivalence(self, seed, drop, dup, delay, pipe):
+        cfg = small_config(
+            seed=seed,
+            faults=chaos_faults(
+                msg_drop_prob=drop,
+                msg_dup_prob=dup,
+                msg_delay_prob=delay,
+                pipe_loss_prob=pipe,
+            ),
+        )
+        params = dict(
+            loops=1, calls_per_loop=3, trace_block=64,
+            compute_between_us=400.0, payload_bytes=8, record_nodes=(0,),
+        )
+        a = run_shards(cfg, 1, params=params)
+        b = run_shards(cfg, 2, params=params)
+        assert a.digest == b.digest
+        assert a.counters == b.counters
+
+
+# ---------------------------------------------------------------------------
+# Adaptive lookahead: window tracks the current minimum cross-node latency
+# ---------------------------------------------------------------------------
+
+class TestAdaptiveLookahead:
+    def test_latency_change_mid_run(self):
+        """Dropping the wire latency mid-run shrinks the conservative
+        window (more supersteps, smaller reported lookahead) without
+        moving the result — and genuinely changes the model vs. the base
+        latency, so the adaptation is observable on both axes."""
+        import dataclasses
+
+        from repro.units import us
+
+        base_cfg = small_config()
+        cfg = base_cfg.replace(
+            network=dataclasses.replace(
+                base_cfg.network, latency_changes=((ms(3), us(6)),)
+            )
+        )
+        runs = [run_shards(cfg, n) for n in (1, 2, 4)]
+        assert runs[0].ok
+        for r in runs[1:]:
+            assert r.digest == runs[0].digest
+        # Post-change latency governs the floor the coordinator reports.
+        assert runs[1].lookahead_us == us(6)
+        plain = run_shards(base_cfg, 2)
+        assert runs[1].supersteps > plain.supersteps
+        assert runs[1].digest != plain.digest  # the change is a model change
+
+
+# ---------------------------------------------------------------------------
 # Shard-stable RNG streams (the naming contract the equivalence rests on)
 # ---------------------------------------------------------------------------
 
@@ -268,19 +428,26 @@ class TestValidation:
         with pytest.raises(ValueError, match="hardware"):
             validate_sharded_config(cfg, 2)
 
-    def test_stochastic_net_faults_rejected(self):
+    def test_stochastic_net_faults_accepted(self):
+        """Per-link fault streams made stochastic faults shard-stable —
+        they are no longer rejected."""
         cfg = small_config(
             faults=FaultConfig(enabled=True, msg_drop_prob=0.01)
         )
-        with pytest.raises(ValueError):
-            validate_sharded_config(cfg, 2)
+        validate_sharded_config(cfg, 2)
 
-    def test_retransmit_rejected(self):
+    def test_retransmit_accepted(self):
+        """Acks ride the envelope router now, so retransmit shards."""
         cfg = small_config(
             faults=FaultConfig(enabled=True, retransmit_enabled=True)
         )
-        with pytest.raises(ValueError):
-            validate_sharded_config(cfg, 2)
+        validate_sharded_config(cfg, 2)
+
+    def test_timesync_loss_accepted(self):
+        cfg = small_config(
+            faults=FaultConfig(enabled=True, timesync_loss_at_us=ms(3))
+        )
+        validate_sharded_config(cfg, 2)
 
     def test_more_shards_than_nodes_rejected(self):
         with pytest.raises(ValueError):
